@@ -1,0 +1,12 @@
+"""E-AB2 benchmark: anchor / frequency-pooling factorial (Fig. 3 factors)."""
+
+from conftest import run_once
+
+from repro.experiments import run_anchor_pooling_ablation
+
+
+def test_bench_ablation_anchor_pooling(benchmark, smoke_context):
+    result = run_once(benchmark, run_anchor_pooling_ablation, smoke_context)
+    print()
+    print(result.render())
+    assert len(result.scores) == 4

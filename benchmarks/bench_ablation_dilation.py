@@ -1,0 +1,15 @@
+"""E-AB1 benchmark: time-dilation sweep (Sec. 4.2 setup note)."""
+
+from conftest import run_once
+
+from repro.experiments import run_dilation_ablation
+
+
+def test_bench_ablation_dilation(benchmark, smoke_context):
+    result = run_once(
+        benchmark, run_dilation_ablation, smoke_context,
+        dilations=(1, 5, 9),
+    )
+    print()
+    print(result.render())
+    assert len(result.scores) == 3

@@ -1,0 +1,14 @@
+"""E-AB3 benchmark: phase-recovery policy sweep."""
+
+from conftest import run_once
+
+from repro.experiments import run_phase_policy_ablation
+
+
+def test_bench_ablation_phase(benchmark, smoke_context):
+    result = run_once(benchmark, run_phase_policy_ablation, smoke_context)
+    print()
+    print(result.render())
+    assert set(result.scores) == {
+        "phase=auto", "phase=cyclic", "phase=observed",
+    }

@@ -1,0 +1,21 @@
+"""E-F3 benchmark: regenerate Fig. 3 (prior-variant comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure3
+
+
+def test_bench_figure3(benchmark, smoke_context):
+    result = run_once(benchmark, run_figure3, smoke_context)
+    print()
+    print(result.render())
+    # Shape check: a harmonic prior must beat the conventional CNN at
+    # in-painting harmonic spectrograms.
+    harmonic_best = min(
+        result.best_errors[k]
+        for k in ("spac", "spac_dilated", "harmonic_baseline")
+    )
+    assert harmonic_best <= result.best_errors["conventional"], (
+        "harmonic priors should in-paint at least as well as a "
+        "conventional CNN"
+    )

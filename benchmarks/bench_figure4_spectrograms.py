@@ -1,0 +1,15 @@
+"""E-F4 benchmark: regenerate Fig. 4 (dataset spectrograms)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure4
+
+
+def test_bench_figure4(benchmark, smoke_context):
+    result = run_once(benchmark, run_figure4, smoke_context)
+    print()
+    print(result.render())
+    assert set(result.stats) == {"msig1", "msig2", "msig3", "msig4", "msig5"}
+    for name, stats in result.stats.items():
+        # The quasi-periodic sources concentrate energy on their ridges.
+        assert sum(stats["ridge_share"].values()) > 0.3, name

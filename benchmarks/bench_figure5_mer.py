@@ -1,0 +1,19 @@
+"""E-F5 benchmark: regenerate Fig. 5 (masked-energy-ratio analysis)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure5
+
+
+def test_bench_figure5(benchmark, smoke_context):
+    result = run_once(
+        benchmark, run_figure5, smoke_context,
+        mixtures=["msig1"],
+        baseline_methods=("Spect. Masking",),
+        example_mixture="msig1",
+    )
+    print()
+    print(result.render())
+    assert len(result.points) == 2  # msig1 has two sources
+    for point in result.points:
+        assert 0.0 <= point.masked_energy_ratio <= 1.0

@@ -1,0 +1,27 @@
+"""E-F6 benchmark: regenerate Fig. 6b (in-vivo SpO2 correlation).
+
+Shape check: DHF's SpO2 estimates must correlate better with the
+blood-draw SaO2 than spectral masking's (paper: 0.24->0.81 and
+0.44->0.92).  The bench runs one ewe on a compressed protocol so the
+suite stays CI-sized; pass ``sheep=None`` to `run_figure6` for both ewes
+at the full 40-minute protocol (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_figure6
+
+
+def test_bench_figure6(benchmark, smoke_context):
+    result = run_once(
+        benchmark, run_figure6, smoke_context, duration_s=240.0,
+        sheep=["sheep1"],
+    )
+    print()
+    print(result.render())
+    dhf = [m["DHF"] for m in result.correlations.values()]
+    masking = [m["Spect. Masking"] for m in result.correlations.values()]
+    assert np.mean(dhf) > np.mean(masking), (
+        f"DHF correlations {dhf} should beat spectral masking {masking}"
+    )

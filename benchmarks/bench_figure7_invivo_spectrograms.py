@@ -1,0 +1,17 @@
+"""E-F7 benchmark: regenerate Fig. 7 (in-vivo separated spectrograms)."""
+
+from conftest import run_once
+
+from repro.experiments import run_figure7
+
+
+def test_bench_figure7(benchmark, smoke_context):
+    result = run_once(
+        benchmark, run_figure7, smoke_context, duration_s=300.0,
+    )
+    print()
+    print(result.render())
+    for wl in (740, 850):
+        # After separation the fetal ridge should dominate far more than
+        # in the raw mixture.
+        assert result.ridge_fraction_after[wl] > result.ridge_fraction_before[wl]

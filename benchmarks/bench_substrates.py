@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrates the experiments are built on.
+
+These time the hot inner loops (STFT round trip, harmonic convolution
+forward+backward, one Adam step of the SpAc LU-Net, pattern alignment,
+and the analytic baselines) so performance regressions are visible
+independently of the end-to-end experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import emd, nmf_kl, vmd
+from repro.core.alignment import rewarp, unwarp
+from repro.dsp import istft, stft
+from repro.nn import Adam, Tensor, build_prior_network, masked_mse_loss
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_stft_roundtrip(benchmark, rng):
+    x = rng.standard_normal(20_000)
+
+    def roundtrip():
+        return istft(stft(x, 100.0, n_fft=512, hop=128))
+
+    result = benchmark(roundtrip)
+    assert np.abs(result - x).max() < 1e-9
+
+
+def test_bench_harmonic_conv_forward_backward(benchmark, rng):
+    x = Tensor(rng.standard_normal((1, 8, 65, 64)).astype(np.float32),
+               requires_grad=True)
+    w = Tensor(rng.standard_normal((8, 8, 3, 3)).astype(np.float32) * 0.1,
+               requires_grad=True)
+
+    def step():
+        x.zero_grad()
+        w.zero_grad()
+        out = F.harmonic_conv2d(x, w, anchor=1, time_dilation=5)
+        loss = (out * out).sum()
+        loss.backward()
+        return float(loss.data)
+
+    benchmark(step)
+
+
+def test_bench_deep_prior_adam_step(benchmark, rng):
+    net = build_prior_network("spac_dilated", rng=rng, base_channels=6,
+                              depth=2, time_dilation=3)
+    z = net.make_input_code(33, 32, rng=rng)
+    target = rng.random((1, 1, 33, 32)).astype(np.float32)
+    mask = (rng.random((1, 1, 33, 32)) > 0.3).astype(np.float32)
+    optimizer = Adam(net.parameters(), lr=5e-3)
+
+    def step():
+        optimizer.zero_grad()
+        loss = masked_mse_loss(net(z), target, mask)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    benchmark(step)
+
+
+def test_bench_pattern_alignment(benchmark, rng):
+    n = 30_000
+    f0 = 1.0 + 0.3 * np.sin(np.arange(n) / 5000.0)
+    x = np.sin(2 * np.pi * np.cumsum(f0) / 100.0)
+
+    def align():
+        alignment = unwarp(x, 100.0, f0, 24)
+        return rewarp(alignment.samples, alignment)
+
+    benchmark(align)
+
+
+def test_bench_emd(benchmark, rng):
+    t = np.arange(4000) / 100.0
+    x = np.sin(2 * np.pi * 1.3 * t) + 0.4 * np.sin(2 * np.pi * 3.7 * t)
+    result = benchmark(lambda: emd(x, max_imfs=6))
+    assert np.allclose(result.sum(axis=0), x, atol=1e-8)
+
+
+def test_bench_vmd(benchmark, rng):
+    t = np.arange(2000) / 100.0
+    x = np.sin(2 * np.pi * 1.0 * t) + 0.5 * np.sin(2 * np.pi * 3.0 * t)
+    benchmark(lambda: vmd(x, n_modes=3, max_iterations=60, tol=1e-7))
+
+
+def test_bench_nmf(benchmark, rng):
+    v = rng.random((128, 60)) + 0.01
+    benchmark(lambda: nmf_kl(v, n_components=6, n_iterations=50, rng=rng))

@@ -1,0 +1,16 @@
+"""E-T1 benchmark: regenerate Table 1 (synthesized dataset)."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, smoke_context):
+    result = run_once(benchmark, run_table1, smoke_context)
+    print()
+    print(result.render())
+    # Every mixture must respect its spec's frequency ranges.
+    for name, rows in result.measured_rows.items():
+        for src, stats in rows.items():
+            assert stats["f_min"] > 0
+            assert stats["f_max"] < 4.0

@@ -1,0 +1,27 @@
+"""E-T2 benchmark: regenerate Table 2 (the method comparison).
+
+The smoke run compares all seven methods on MSig1; the printed table shows
+reproduced SDR/MSE next to the paper's values.  Shape assertion: DHF must
+beat the classic decomposition baselines on average.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+from repro.metrics import db_to_linear
+
+
+def test_bench_table2(benchmark, smoke_context):
+    result = run_once(
+        benchmark, run_table2, smoke_context, mixtures=["msig1"],
+    )
+    print()
+    print(result.render())
+    averages = result.averages()
+    assert "DHF" in averages
+    # Shape check: DHF beats the analytic decomposition methods.
+    for classic in ("EMD", "NMF", "REPET"):
+        assert averages["DHF"][0] > averages[classic][0], (
+            f"DHF ({averages['DHF'][0]:.2f} dB) should beat {classic} "
+            f"({averages[classic][0]:.2f} dB)"
+        )

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate every paper table/figure at the ``smoke`` preset so
+a full ``pytest benchmarks/ --benchmark-only`` run completes in minutes;
+paper-scale numbers live in EXPERIMENTS.md.  Each bench prints the rendered
+rows/series the paper reports (visible with ``-s`` or in captured output).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture
+def smoke_context() -> ExperimentContext:
+    """The smallest preset exercising every code path."""
+    return ExperimentContext.from_name("smoke", seed=7)
+
+
+@pytest.fixture
+def fast_context() -> ExperimentContext:
+    """The CI preset (longer signals, bigger deep-prior budget)."""
+    return ExperimentContext.from_name("fast", seed=7)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

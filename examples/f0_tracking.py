@@ -1,0 +1,60 @@
+"""Fundamental-frequency tracking from the mixed signal alone.
+
+The paper assumes source fundamentals are known through auxiliary sensors
+or "preliminary analysis of the mixed signal".  This example demonstrates
+the preliminary-analysis route: the harmonic-sum + Viterbi tracker of
+``repro.freq`` recovers the two strongest fundamentals of a Table 1
+mixture and the recovered tracks drive a DHF separation — no ground-truth
+frequency information used at all.
+
+Run:  python examples/f0_tracking.py
+"""
+
+import numpy as np
+
+from repro.core import DHFConfig, DHFSeparator
+from repro.freq import FundamentalTracker
+from repro.metrics import sdr_db
+from repro.synth import make_mixture
+
+
+def track_error_hz(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute frequency error between two per-sample tracks."""
+    return float(np.mean(np.abs(estimated - truth)))
+
+
+def main() -> None:
+    mixture = make_mixture("msig3", duration_s=60.0, seed=9)
+    tracker = FundamentalTracker(f_min=0.8, f_max=3.6, window_s=8.0)
+    tracked = tracker.track(mixture.mixed, mixture.sampling_hz, n_sources=2)
+
+    # Match tracked fundamentals to ground-truth sources by mean frequency.
+    names = list(mixture.f0_tracks)
+    print("tracking accuracy (mean |error| in Hz):")
+    assignments = {}
+    for i, source in enumerate(tracked):
+        mean_f = float(np.mean(source.f0_samples))
+        best = min(
+            (n for n in names if n not in assignments.values()),
+            key=lambda n: abs(float(np.mean(mixture.f0_tracks[n])) - mean_f),
+        )
+        assignments[i] = best
+        err = track_error_hz(source.f0_samples, mixture.f0_tracks[best])
+        print(f"  track {i} -> {best}: {err:.3f} Hz "
+              f"(mean f0 {mean_f:.2f} Hz)")
+
+    # Separate using the *estimated* tracks only.
+    estimated_tracks = {
+        assignments[i]: tracked[i].f0_samples for i in assignments
+    }
+    separator = DHFSeparator(DHFConfig.from_preset("fast"))
+    estimates = separator.separate(
+        mixture.mixed, mixture.sampling_hz, estimated_tracks
+    )
+    print("\nseparation with estimated fundamentals:")
+    for name, estimate in estimates.items():
+        print(f"  {name}: SDR {sdr_db(estimate, mixture.sources[name]):.2f} dB")
+
+
+if __name__ == "__main__":
+    main()

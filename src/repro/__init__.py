@@ -1,0 +1,34 @@
+"""repro — reproduction of Deep Harmonic Finesse (DHF), DAC 2024.
+
+Quasi-periodic signal separation from a single mixed measurement using
+pattern alignment, harmonic masking, and deep-prior spectrogram in-painting
+with a Spectrally Accurate Light U-Net.
+
+Subpackages
+-----------
+``repro.core``
+    The DHF algorithm (pattern alignment, masking, in-painting, phase).
+``repro.nn``
+    From-scratch NumPy autograd + harmonic-convolution networks.
+``repro.dsp``
+    STFT/ISTFT, filters, interpolation, resampling.
+``repro.synth``
+    Quasi-periodic signal generator and the paper's Table-1 mixtures.
+``repro.baselines``
+    EMD, VMD, NMF, REPET(-Extended), spectral masking.
+``repro.metrics``
+    SDR, MSE, correlation, paper-style aggregation.
+``repro.freq``
+    Fundamental-frequency tracking.
+``repro.tfo``
+    Transabdominal fetal pulse-oximetry simulator and SpO2 estimation.
+``repro.experiments``
+    Runners regenerating every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+from repro.config import available_presets, get_preset
+
+__all__ = ["errors", "get_preset", "available_presets", "__version__"]

@@ -1,0 +1,52 @@
+"""repro.baselines — the six comparison methods of Table 2.
+
+All methods implement the :class:`repro.baselines.base.Separator`
+interface; :func:`all_baselines` builds the full Table 2 line-up.
+"""
+
+from typing import Dict
+
+from repro.baselines.base import (
+    Separator,
+    assign_components_to_sources,
+    component_source_scores,
+    residual_after,
+)
+from repro.baselines.emd import EMDSeparator, emd, envelope_mean, local_extrema, sift_imf
+from repro.baselines.vmd import VMDSeparator, vmd
+from repro.baselines.nmf import NMFSeparator, nmf_component_signals, nmf_kl
+from repro.baselines.repet import (
+    REPETSeparator,
+    refine_period,
+    repeating_mask,
+    repeating_model,
+    repet_extended_mask,
+    repet_extract,
+)
+from repro.baselines.spectral_mask import SpectralMaskingSeparator
+
+
+def all_baselines() -> Dict[str, Separator]:
+    """The Table 2 baseline line-up, keyed by the paper's method names."""
+    methods = [
+        EMDSeparator(),
+        VMDSeparator(),
+        NMFSeparator(),
+        REPETSeparator(extended=False),
+        REPETSeparator(extended=True),
+        SpectralMaskingSeparator(),
+    ]
+    return {m.name: m for m in methods}
+
+
+__all__ = [
+    "Separator", "assign_components_to_sources", "component_source_scores",
+    "residual_after",
+    "EMDSeparator", "emd", "envelope_mean", "local_extrema", "sift_imf",
+    "VMDSeparator", "vmd",
+    "NMFSeparator", "nmf_component_signals", "nmf_kl",
+    "REPETSeparator", "refine_period", "repeating_mask", "repeating_model",
+    "repet_extended_mask", "repet_extract",
+    "SpectralMaskingSeparator",
+    "all_baselines",
+]

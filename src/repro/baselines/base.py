@@ -1,0 +1,112 @@
+"""Common interface for all separation methods (baselines and DHF).
+
+Every method consumes the same information the paper grants all competitors:
+the single mixed measurement, its sampling rate, and the per-source
+fundamental-frequency tracks (assumption 3 of Sec. 1).  Decomposition
+methods that produce anonymous components (EMD, VMD, NMF, REPET) route them
+through :func:`assign_components_to_sources`, which matches each component
+to the source whose harmonic comb captures most of its energy — the same
+bookkeeping the paper needs to score Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.masking import (
+    default_bandwidth,
+    f0_track_to_frames,
+    harmonic_ridge_mask,
+)
+from repro.dsp.stft import stft
+from repro.errors import ConfigurationError, DataError
+from repro.separation import Separator
+from repro.utils.validation import as_1d_float_array
+
+__all__ = [
+    "Separator",
+    "component_source_scores",
+    "assign_components_to_sources",
+    "residual_after",
+]
+
+
+def component_source_scores(
+    components: np.ndarray,
+    sampling_hz: float,
+    f0_tracks: Mapping[str, np.ndarray],
+    n_harmonics: int = 4,
+    n_fft: Optional[int] = None,
+) -> np.ndarray:
+    """Score each component against each source's harmonic comb.
+
+    Returns an ``(n_components, n_sources)`` matrix whose entries are the
+    fraction of a component's spectrogram energy lying on the source's
+    harmonic ridges — sources iterate in ``f0_tracks`` order.
+    """
+    components = np.atleast_2d(np.asarray(components, dtype=np.float64))
+    if n_fft is None:
+        # ~8 s windows resolve fundamentals >= ~0.4 Hz.
+        n_fft = int(min(components.shape[1], 8 * sampling_hz))
+        n_fft = max(16, n_fft)
+    scores = np.zeros((components.shape[0], len(f0_tracks)))
+    ridges = None
+    for i, comp in enumerate(components):
+        if np.allclose(comp, 0):
+            continue
+        spec = stft(comp, sampling_hz, n_fft=n_fft, hop=max(1, n_fft // 4))
+        power = spec.magnitude ** 2
+        total = power.sum()
+        if total <= 0:
+            continue
+        if ridges is None:
+            ridges = {}
+            for name, track in f0_tracks.items():
+                frames = f0_track_to_frames(track, sampling_hz, spec)
+                ridges[name] = harmonic_ridge_mask(
+                    spec, frames, n_harmonics, default_bandwidth()
+                )
+        for j, name in enumerate(f0_tracks):
+            scores[i, j] = power[ridges[name]].sum() / total
+    return scores
+
+
+def assign_components_to_sources(
+    components: np.ndarray,
+    sampling_hz: float,
+    f0_tracks: Mapping[str, np.ndarray],
+    n_harmonics: int = 4,
+) -> Dict[str, np.ndarray]:
+    """Sum anonymous components into per-source estimates.
+
+    Each component goes to the source with the highest harmonic-comb score;
+    components matching nothing (all-zero scores) are treated as noise and
+    dropped.  Every requested source receives an estimate (possibly zeros).
+    """
+    components = np.atleast_2d(np.asarray(components, dtype=np.float64))
+    names = list(f0_tracks)
+    estimates = {
+        name: np.zeros(components.shape[1]) for name in names
+    }
+    if components.size == 0:
+        return estimates
+    scores = component_source_scores(
+        components, sampling_hz, f0_tracks, n_harmonics=n_harmonics
+    )
+    for i, comp in enumerate(components):
+        row = scores[i]
+        if row.max() <= 0:
+            continue
+        estimates[names[int(np.argmax(row))]] += comp
+    return estimates
+
+
+def residual_after(mixed: np.ndarray, estimates: Mapping[str, np.ndarray]) -> np.ndarray:
+    """The part of the mixture no estimate claimed (diagnostics)."""
+    mixed = as_1d_float_array(mixed, "mixed")
+    total = np.zeros_like(mixed)
+    for est in estimates.values():
+        total += np.asarray(est)
+    return mixed - total

@@ -1,0 +1,105 @@
+"""Harmonic spectral masking (Gerkmann & Vincent 2018) — the strongest
+prior method in Table 2 and the state of the art the in-vivo study compares
+against (Vali et al. 2021).
+
+Each source is extracted by applying its harmonic ridge mask directly to
+the mixed STFT — no alignment, no in-painting.  Where ridges of two sources
+cross, both masks claim the same cells, so interference leaks into the
+estimates; that leakage at overlaps is precisely the failure mode DHF's
+in-painting repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.baselines.base import Separator
+from repro.core.masking import (
+    BandwidthSpec,
+    default_bandwidth,
+    f0_spread_per_frame,
+    f0_track_to_frames,
+    harmonic_ridge_mask,
+)
+from repro.dsp.stft import istft, stft
+
+
+@dataclass
+class SpectralMaskingSeparator(Separator):
+    """Binary harmonic-comb masking of the mixture spectrogram.
+
+    Parameters
+    ----------
+    n_harmonics:
+        Harmonics per source comb.
+    n_fft_seconds:
+        STFT window length in seconds (the paper uses 60 s windows at the
+        full 5-minute scale; shorter presets scale this down).
+    hop_fraction:
+        Hop as a fraction of the window (0.25 matches the paper's
+        60 s / 15 s choice).
+    bandwidth:
+        Ridge half-width spec; defaults to :func:`default_bandwidth`.
+    exclusive:
+        If true (default), cells claimed by several sources go only to the
+        source whose ridge centre is nearest.  This is the stronger variant
+        and matches the behaviour of the state of the art the paper
+        compares against ([18]); it still discards/corrupts overlap
+        content — the failure DHF repairs.  ``False`` gives the naive
+        leaky variant.
+    """
+
+    n_harmonics: int = 6
+    n_fft_seconds: float = 12.0
+    hop_fraction: float = 0.25
+    bandwidth: Optional[BandwidthSpec] = None
+    exclusive: bool = True
+
+    name: str = "Spect. Masking"
+
+    def separate(self, mixed, sampling_hz, f0_tracks) -> Dict[str, np.ndarray]:
+        mixed = self._validate(mixed, sampling_hz, f0_tracks)
+        bandwidth = self.bandwidth or default_bandwidth()
+        n_fft = max(64, int(self.n_fft_seconds * sampling_hz))
+        n_fft = min(n_fft, mixed.size)
+        hop = max(1, int(n_fft * self.hop_fraction))
+        spec = stft(mixed, sampling_hz, n_fft=n_fft, hop=hop)
+
+        masks = {}
+        for name, track in f0_tracks.items():
+            frames = f0_track_to_frames(track, sampling_hz, spec)
+            spread = f0_spread_per_frame(track, sampling_hz, spec)
+            masks[name] = harmonic_ridge_mask(
+                spec, frames, self.n_harmonics, bandwidth, f0_spread=spread
+            )
+        if self.exclusive:
+            masks = _resolve_overlaps(spec, f0_tracks, masks, sampling_hz,
+                                      self.n_harmonics)
+        estimates = {}
+        for name, mask in masks.items():
+            estimates[name] = istft(spec.with_values(spec.values * mask))
+        return estimates
+
+
+def _resolve_overlaps(spec, f0_tracks, masks, sampling_hz, n_harmonics):
+    """Assign contested cells to the source with the nearest ridge centre."""
+    freqs = spec.freqs()
+    names = list(masks)
+    # Distance of each cell to the closest harmonic centre, per source.
+    distances = {}
+    for name in names:
+        frames = f0_track_to_frames(f0_tracks[name], sampling_hz, spec)
+        d = np.full((spec.n_freq, spec.n_frames), np.inf)
+        for k in range(1, n_harmonics + 1):
+            centers = k * frames
+            d = np.minimum(d, np.abs(freqs[:, None] - centers[None, :]))
+        distances[name] = d
+    stacked = np.stack([distances[n] for n in names])
+    owner = np.argmin(stacked, axis=0)
+    resolved = {}
+    for i, name in enumerate(names):
+        resolved[name] = masks[name] & (owner == i)
+    return resolved

@@ -1,0 +1,52 @@
+"""repro.core — the Deep Harmonic Finesse algorithm."""
+
+from repro.core.alignment import (
+    Alignment,
+    rewarp,
+    unrolled_phase,
+    unwarp,
+    warp_all_f0_tracks,
+    warp_f0_track,
+)
+from repro.core.masking import (
+    BandwidthSpec,
+    RoundMasks,
+    bandwidth_for_harmonic,
+    build_round_masks,
+    default_bandwidth,
+    f0_spread_per_frame,
+    f0_track_to_frames,
+    harmonic_ridge_mask,
+    interference_mask,
+    masked_energy_ratio,
+    visibility_mask,
+)
+from repro.core.phase import (
+    combine_magnitude_phase,
+    interpolate_phase_cyclic,
+    interpolate_phase_naive,
+)
+from repro.core.inpainting import (
+    InpaintingConfig,
+    InpaintingResult,
+    auto_time_dilation,
+    config_for_prior_kind,
+    inpaint_spectrogram,
+)
+from repro.core.results import DHFResult, DHFRound
+from repro.core.dhf import DHFConfig, DHFSeparator
+
+__all__ = [
+    "Alignment", "rewarp", "unrolled_phase", "unwarp", "warp_all_f0_tracks",
+    "warp_f0_track",
+    "BandwidthSpec", "RoundMasks", "bandwidth_for_harmonic",
+    "build_round_masks", "default_bandwidth", "f0_spread_per_frame",
+    "f0_track_to_frames", "harmonic_ridge_mask", "interference_mask",
+    "masked_energy_ratio", "visibility_mask",
+    "combine_magnitude_phase", "interpolate_phase_cyclic",
+    "interpolate_phase_naive",
+    "InpaintingConfig", "InpaintingResult", "auto_time_dilation",
+    "config_for_prior_kind", "inpaint_spectrogram",
+    "DHFResult", "DHFRound",
+    "DHFConfig", "DHFSeparator",
+]

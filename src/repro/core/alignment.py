@@ -1,0 +1,183 @@
+"""Target pattern alignment (paper Sec. 3.1, Eqs. 3–7).
+
+Each separation round unwarps the mixed signal with respect to the target
+source's fundamental-frequency track so the target becomes **strictly
+periodic at 1 Hz** in the unwarped space.  Two sequential interpolations
+implement the transform:
+
+1. the unrolled target phase ``Φ[n] = 2π Σ f_ts[i] Δt`` (Eq. 4) is inverted
+   to find the timestamps ``t'[m]`` where the phase crosses uniform
+   intervals ``2π / F_s'`` (Eqs. 5–6);
+2. the mixed signal is resampled at those timestamps (Eq. 7).
+
+``F_s'`` — the unwarped sampling rate — equals ``samples_per_period``
+because the unwarped fundamental is locked to 1 Hz.  Pattern restoration
+(:func:`rewarp`) inverts the mapping with the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.dsp.interpolate import linear_interp
+from repro.errors import ConfigurationError, DataError
+from repro.utils.validation import as_1d_float_array, check_positive_int
+
+
+@dataclass
+class Alignment:
+    """The invertible unwarp mapping of one separation round.
+
+    Attributes
+    ----------
+    samples:
+        The unwarped mixed signal ``X'[m]``.
+    warped_times:
+        Original-time location ``t'[m]`` (seconds) of every unwarped sample.
+    sampling_hz:
+        Unwarped sampling rate ``F_s'`` (= ``samples_per_period``; the
+        target fundamental is exactly 1 Hz in this space).
+    original_times:
+        Uniform original timestamps ``t[n]``.
+    original_sampling_hz:
+        The original rate ``F_s``.
+    phase:
+        Unrolled target phase ``Φ[n]`` at the original samples (radians).
+    """
+
+    samples: np.ndarray
+    warped_times: np.ndarray
+    sampling_hz: float
+    original_times: np.ndarray
+    original_sampling_hz: float
+    phase: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return self.samples.size
+
+    @property
+    def n_periods(self) -> float:
+        """Total target periods covered by the signal."""
+        return float(self.phase[-1] / (2 * np.pi))
+
+
+def unrolled_phase(f0_track, sampling_hz: float) -> np.ndarray:
+    """Eq. 4: cumulative target phase ``Φ[n]`` in radians, starting at 0."""
+    f0 = as_1d_float_array(f0_track, "f0_track")
+    if np.any(f0 <= 0):
+        raise DataError("f0 track must be strictly positive")
+    if sampling_hz <= 0:
+        raise ConfigurationError(f"sampling_hz must be positive, got {sampling_hz}")
+    increments = 2 * np.pi * f0 / sampling_hz
+    phase = np.concatenate([[0.0], np.cumsum(increments[:-1])])
+    return phase
+
+
+def unwarp(
+    mixed,
+    sampling_hz: float,
+    f0_track,
+    samples_per_period: int,
+) -> Alignment:
+    """Transform the mixed signal so the target is strictly periodic at 1 Hz.
+
+    Parameters
+    ----------
+    mixed:
+        The mixed measurement ``X[n]``.
+    sampling_hz:
+        Original sampling rate ``F_s``.
+    f0_track:
+        Per-sample fundamental of the *target* source (Hz).
+    samples_per_period:
+        Unwarped samples per target period — the new rate ``F_s'``.
+    """
+    mixed = as_1d_float_array(mixed, "mixed")
+    f0 = as_1d_float_array(f0_track, "f0_track")
+    if f0.size != mixed.size:
+        raise DataError(
+            f"f0 track has {f0.size} samples, mixed has {mixed.size}"
+        )
+    check_positive_int(samples_per_period, "samples_per_period")
+
+    t = np.arange(mixed.size) / sampling_hz
+    phase = unrolled_phase(f0, sampling_hz)
+
+    # Uniform phase grid: one sample every 2π / samples_per_period (Eq. 5).
+    phase_step = 2 * np.pi / samples_per_period
+    n_unwarped = int(np.floor(phase[-1] / phase_step)) + 1
+    if n_unwarped < 2:
+        raise DataError(
+            "signal covers less than one target period; cannot unwarp"
+        )
+    uniform_phase = np.arange(n_unwarped) * phase_step
+
+    # Eq. 6: timestamps where the phase crosses the uniform grid.  Φ is
+    # strictly increasing (f0 > 0) so the inverse map is well defined.
+    warped_times = linear_interp(uniform_phase, phase, t)
+    # Eq. 7: the mixed signal at those timestamps.
+    samples = linear_interp(warped_times, t, mixed)
+    return Alignment(
+        samples=samples,
+        warped_times=warped_times,
+        sampling_hz=float(samples_per_period),
+        original_times=t,
+        original_sampling_hz=float(sampling_hz),
+        phase=phase,
+    )
+
+
+def rewarp(unwarped_signal, alignment: Alignment) -> np.ndarray:
+    """Pattern restoration: map an unwarped-domain signal back to ``t[n]``.
+
+    The inverse of Eq. 6–7: the unwarped signal lives at original-time
+    locations ``t'[m]``; interpolating it at the uniform timestamps
+    ``t[n]`` restores the original sampling grid.
+    """
+    y = as_1d_float_array(unwarped_signal, "unwarped_signal")
+    if y.size != alignment.warped_times.size:
+        raise DataError(
+            f"unwarped signal has {y.size} samples, alignment expects "
+            f"{alignment.warped_times.size}"
+        )
+    return linear_interp(alignment.original_times, alignment.warped_times, y)
+
+
+def warp_f0_track(f0_other, alignment: Alignment) -> np.ndarray:
+    """Express another source's fundamental in the target-aligned space.
+
+    In unwarped time the target fundamental is 1 Hz; any other source's
+    instantaneous frequency becomes ``f_other(t'[m]) / f_target(t'[m])``
+    (frequencies scale by the local warp rate).  The returned track is
+    sampled on the unwarped grid.
+    """
+    f_other = as_1d_float_array(f0_other, "f0_other")
+    n = alignment.original_times.size
+    if f_other.size != n:
+        raise DataError(
+            f"f0_other has {f_other.size} samples, expected {n}"
+        )
+    # Target instantaneous frequency from the phase derivative.
+    f_target = np.gradient(alignment.phase) * alignment.original_sampling_hz / (2 * np.pi)
+    f_target = np.maximum(f_target, 1e-9)
+    ratio = f_other / f_target
+    return linear_interp(alignment.warped_times, alignment.original_times, ratio)
+
+
+def warp_all_f0_tracks(
+    f0_tracks: Mapping[str, np.ndarray],
+    target: str,
+    alignment: Alignment,
+) -> dict:
+    """Warp every source's track; the target maps to exactly 1 Hz."""
+    out = {}
+    for name, track in f0_tracks.items():
+        if name == target:
+            out[name] = np.ones(alignment.n_samples)
+        else:
+            out[name] = warp_f0_track(track, alignment)
+    return out

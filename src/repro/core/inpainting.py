@@ -1,0 +1,241 @@
+"""Deep-prior spectrogram in-painting (paper Sec. 3.3, Eq. 9).
+
+A randomly-initialised SpAc LU-Net is fitted to the *visible* cells of a
+single pattern-aligned magnitude spectrogram; the network's structural
+harmonic/periodic bias fills the concealed interference regions with
+target-consistent values, exactly as Deep Image Prior fills masked image
+regions.  No training data is involved — the optimisation *is* the
+inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError, ShapeError
+from repro.nn.loss import masked_mse_loss
+from repro.nn.optim import Adam
+from repro.nn.unet import SpAcLUNet, UNetConfig
+from repro.utils.seeding import as_generator, spawn_generators
+from repro.utils.validation import as_2d_float_array
+
+
+@dataclass(frozen=True)
+class InpaintingConfig:
+    """Hyper-parameters of one deep-prior fit.
+
+    ``network_kind`` selects a Fig. 3 variant; ``"spac_dilated"`` is the
+    full paper design.  ``compression`` applies a magnitude-compressing
+    power law before fitting (0.5 = square-root compression) which
+    equalises the dynamic range between strong and weak harmonics.
+    """
+
+    iterations: int = 300
+    learning_rate: float = 3e-3
+    base_channels: int = 16
+    depth: int = 3
+    in_channels: int = 8
+    n_harmonics: int = 3
+    kernel_time: int = 3
+    anchor: int = 1
+    time_dilation: int = 13
+    freq_pooling: bool = False
+    conv_kind: str = "harmonic"
+    compression: float = 1.0
+    input_scale: float = 0.1
+    dtype: object = np.float32
+
+    def network_config(self) -> UNetConfig:
+        """The corresponding :class:`UNetConfig`."""
+        return UNetConfig(
+            in_channels=self.in_channels,
+            base_channels=self.base_channels,
+            depth=self.depth,
+            n_harmonics=self.n_harmonics,
+            kernel_time=self.kernel_time,
+            anchor=self.anchor,
+            time_dilation=self.time_dilation,
+            conv_kind=self.conv_kind,
+            freq_pooling=self.freq_pooling,
+        )
+
+
+def config_for_prior_kind(kind: str, base: InpaintingConfig) -> InpaintingConfig:
+    """Derive a Fig. 3 variant config from a base configuration."""
+    from dataclasses import replace
+
+    if kind == "conventional":
+        return replace(base, conv_kind="standard", anchor=1,
+                       time_dilation=1, freq_pooling=False)
+    if kind == "harmonic_baseline":
+        return replace(base, conv_kind="harmonic", anchor=2,
+                       time_dilation=1, freq_pooling=True)
+    if kind == "spac":
+        return replace(base, conv_kind="harmonic", anchor=1,
+                       time_dilation=1, freq_pooling=False)
+    if kind == "spac_dilated":
+        return replace(base, conv_kind="harmonic", anchor=1,
+                       freq_pooling=False)
+    raise ConfigurationError(f"unknown prior kind {kind!r}")
+
+
+@dataclass
+class InpaintingResult:
+    """Outcome of a deep-prior fit.
+
+    Attributes
+    ----------
+    output:
+        In-painted magnitude spectrogram (same scale as the input).
+    losses:
+        Visible-region loss per iteration.
+    concealed_errors:
+        Optional per-iteration error on the concealed region against a
+        ground-truth magnitude (only when ``reference`` was supplied —
+        used by the Fig. 3 experiment).
+    network:
+        The fitted network (weights after the final iteration).
+    scale:
+        Normalisation factor applied before fitting.
+    """
+
+    output: np.ndarray
+    losses: np.ndarray
+    concealed_errors: Optional[np.ndarray]
+    network: SpAcLUNet
+    scale: float
+
+
+def _clamp_dilation(dilation: int, n_frames: int) -> int:
+    """Keep the dilated kernel span inside the frame axis."""
+    limit = max(1, (n_frames - 1) // 2)
+    return max(1, min(dilation, limit))
+
+
+def auto_time_dilation(visibility: np.ndarray, minimum: int = 5,
+                       maximum: int = 15) -> int:
+    """Paper's rule of thumb: larger dilation for longer masked sections.
+
+    Sec. 4.2 uses 13 or 15 "according to the specific masking situation".
+    We measure the mean concealed run length along time and pick an odd
+    dilation that comfortably jumps across it.
+    """
+    concealed = ~np.asarray(visibility, dtype=bool)
+    if not concealed.any():
+        return minimum
+    runs: List[int] = []
+    for row in concealed:
+        length = 0
+        for cell in row:
+            if cell:
+                length += 1
+            elif length:
+                runs.append(length)
+                length = 0
+        if length:
+            runs.append(length)
+    if not runs:
+        return minimum
+    mean_run = float(np.mean(runs))
+    dilation = int(np.ceil(mean_run * 1.5)) | 1  # odd
+    return max(minimum, min(dilation, maximum))
+
+
+def inpaint_spectrogram(
+    magnitude: np.ndarray,
+    visibility: np.ndarray,
+    config: InpaintingConfig,
+    rng=None,
+    reference: Optional[np.ndarray] = None,
+) -> InpaintingResult:
+    """Fit a deep prior to the visible cells and in-paint the rest.
+
+    Parameters
+    ----------
+    magnitude:
+        Magnitude spectrogram ``(n_freq, n_frames)`` (non-negative).
+    visibility:
+        Binary mask, 1 = cell participates in the cost (Eq. 9).
+    config:
+        Hyper-parameters.
+    rng:
+        Seed/generator for the network init and input code.
+    reference:
+        Optional ground-truth magnitude for tracking concealed-region error
+        per iteration (Fig. 3 experiment).
+    """
+    magnitude = as_2d_float_array(magnitude, "magnitude")
+    if np.any(magnitude < 0):
+        raise DataError("magnitude spectrogram must be non-negative")
+    visibility_arr = np.asarray(visibility, dtype=bool)
+    if visibility_arr.shape != magnitude.shape:
+        raise ShapeError(
+            f"visibility shape {visibility_arr.shape} != magnitude shape "
+            f"{magnitude.shape}"
+        )
+    if not visibility_arr.any():
+        raise DataError("visibility mask conceals everything")
+    rng_init, rng_code = spawn_generators(as_generator(rng), 2)
+
+    n_freq, n_frames = magnitude.shape
+    compressed = magnitude ** config.compression
+    scale = float(compressed.max())
+    if scale <= 0:
+        raise DataError("magnitude spectrogram is identically zero")
+    normalized = (compressed / scale).astype(config.dtype)
+
+    from dataclasses import replace
+    dilation = _clamp_dilation(config.time_dilation, n_frames)
+    net_cfg = replace(config, time_dilation=dilation).network_config()
+    network = SpAcLUNet(net_cfg, rng=rng_init, dtype=config.dtype)
+    code = network.make_input_code(
+        n_freq, n_frames, rng=rng_code, scale=config.input_scale,
+        dtype=config.dtype,
+    )
+
+    target = normalized[None, None]
+    mask = visibility_arr.astype(config.dtype)[None, None]
+    optimizer = Adam(network.parameters(), lr=config.learning_rate)
+
+    losses = np.empty(config.iterations)
+    concealed_errors = (
+        np.empty(config.iterations) if reference is not None else None
+    )
+    if reference is not None:
+        reference = as_2d_float_array(reference, "reference")
+        if reference.shape != magnitude.shape:
+            raise ShapeError(
+                f"reference shape {reference.shape} != magnitude shape "
+                f"{magnitude.shape}"
+            )
+        ref_norm = (reference ** config.compression) / scale
+        concealed = ~visibility_arr
+
+    output_data = normalized
+    for it in range(config.iterations):
+        optimizer.zero_grad()
+        prediction = network(code)
+        loss = masked_mse_loss(prediction, target, mask)
+        loss.backward()
+        optimizer.step()
+        losses[it] = float(loss.data)
+        output_data = prediction.data[0, 0]
+        if concealed_errors is not None:
+            if concealed.any():
+                diff = output_data[concealed] - ref_norm[concealed]
+                concealed_errors[it] = float(np.mean(diff ** 2))
+            else:
+                concealed_errors[it] = 0.0
+
+    restored = np.clip(output_data.astype(np.float64), 0.0, None) * scale
+    output = restored ** (1.0 / config.compression)
+    return InpaintingResult(
+        output=output,
+        losses=losses,
+        concealed_errors=concealed_errors,
+        network=network,
+        scale=scale,
+    )

@@ -1,0 +1,63 @@
+"""repro.dsp — signal-processing substrate built from scratch on NumPy FFTs."""
+
+from repro.dsp.windows import (
+    blackman,
+    check_cola,
+    cola_sum,
+    get_window,
+    hamming,
+    hann,
+    rectangular,
+    window_names,
+)
+from repro.dsp.stft import StftResult, istft, spectrogram_db, stft
+from repro.dsp.interpolate import (
+    Interp1d,
+    cubic_spline_interp,
+    linear_interp,
+    natural_cubic_spline_coeffs,
+    pchip_interp,
+    pchip_slopes,
+)
+from repro.dsp.filters import (
+    bandpass_filter,
+    butterworth_lowpass_sos,
+    convolve_same,
+    design_bandpass,
+    design_highpass,
+    design_lowpass,
+    filter_zerophase,
+    fir_frequency_response,
+    sosfilt,
+    sosfiltfilt,
+)
+from repro.dsp.resample import decimate, resample_to_grid, resample_to_rate, time_axis
+from repro.dsp.analytic import (
+    analytic_signal,
+    envelope,
+    instantaneous_frequency,
+    instantaneous_phase,
+)
+from repro.dsp.spectrum import (
+    autocorrelation,
+    beat_spectrum,
+    dominant_period,
+    harmonic_sum_salience,
+    periodogram,
+)
+
+__all__ = [
+    "blackman", "check_cola", "cola_sum", "get_window", "hamming", "hann",
+    "rectangular", "window_names",
+    "StftResult", "istft", "spectrogram_db", "stft",
+    "Interp1d", "cubic_spline_interp", "linear_interp",
+    "natural_cubic_spline_coeffs", "pchip_interp", "pchip_slopes",
+    "bandpass_filter", "butterworth_lowpass_sos", "convolve_same",
+    "design_bandpass", "design_highpass", "design_lowpass",
+    "filter_zerophase", "fir_frequency_response", "sosfilt", "sosfiltfilt",
+    "decimate", "resample_to_grid", "resample_to_rate", "time_axis",
+    "analytic_signal", "envelope", "instantaneous_frequency",
+    "instantaneous_phase",
+    "autocorrelation", "beat_spectrum", "dominant_period",
+    "harmonic_sum_salience", "periodogram",
+]

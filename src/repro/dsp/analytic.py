@@ -1,0 +1,48 @@
+"""Analytic signal, envelope and instantaneous frequency via the FFT Hilbert
+transform.
+
+Used by the TFO application to extract AC components, and by the f0 tracker
+to sanity-check instantaneous-frequency estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import as_1d_float_array, check_positive
+
+
+def analytic_signal(x) -> np.ndarray:
+    """Complex analytic signal with one-sided spectrum (Marple 1999)."""
+    x = as_1d_float_array(x, "x")
+    n = x.size
+    spectrum = np.fft.fft(x)
+    h = np.zeros(n)
+    if n % 2 == 0:
+        h[0] = h[n // 2] = 1.0
+        h[1: n // 2] = 2.0
+    else:
+        h[0] = 1.0
+        h[1: (n + 1) // 2] = 2.0
+    return np.fft.ifft(spectrum * h)
+
+
+def envelope(x) -> np.ndarray:
+    """Amplitude envelope ``|analytic(x)|``."""
+    return np.abs(analytic_signal(x))
+
+
+def instantaneous_phase(x) -> np.ndarray:
+    """Unwrapped instantaneous phase of the analytic signal (radians)."""
+    return np.unwrap(np.angle(analytic_signal(x)))
+
+
+def instantaneous_frequency(x, sampling_hz: float) -> np.ndarray:
+    """Instantaneous frequency in Hz (gradient of the unwrapped phase).
+
+    Returns an array of the same length as ``x`` (central differences in the
+    interior, one-sided at the boundaries).
+    """
+    check_positive(sampling_hz, "sampling_hz")
+    phase = instantaneous_phase(x)
+    return np.gradient(phase) * sampling_hz / (2 * np.pi)

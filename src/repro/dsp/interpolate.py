@@ -1,0 +1,180 @@
+"""1-D interpolation primitives used by the pattern aligner.
+
+The aligner performs two sequential interpolations (paper Eqs. 6–7); both
+route through :class:`Interp1d` here.  Linear interpolation and a
+from-scratch monotone PCHIP (Fritsch–Carlson) implementation are provided —
+PCHIP avoids the overshoot a plain cubic spline would introduce near sharp
+PPG systolic peaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.validation import as_1d_float_array, check_same_length
+
+_KINDS = ("linear", "pchip", "cubic")
+
+
+def _check_strictly_increasing(x: np.ndarray, name: str) -> None:
+    if x.size >= 2 and not np.all(np.diff(x) > 0):
+        raise DataError(f"{name} must be strictly increasing")
+
+
+def linear_interp(x_new, x, y) -> np.ndarray:
+    """Piecewise-linear interpolation with edge clamping.
+
+    Values outside ``[x[0], x[-1]]`` are clamped to the boundary values
+    (the aligner guarantees in-range queries; clamping guards float fuzz).
+    """
+    x = as_1d_float_array(x, "x")
+    y = as_1d_float_array(y, "y")
+    check_same_length("x", x, "y", y)
+    _check_strictly_increasing(x, "x")
+    x_new = np.asarray(x_new, dtype=np.float64)
+    return np.interp(x_new, x, y)
+
+
+def pchip_slopes(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Monotone derivative estimates of Fritsch & Carlson (1980)."""
+    h = np.diff(x)
+    delta = np.diff(y) / h
+    n = x.size
+    d = np.zeros(n)
+    if n == 2:
+        d[:] = delta[0]
+        return d
+    # Interior: weighted harmonic mean when slopes agree in sign, else 0.
+    w1 = 2 * h[1:] + h[:-1]
+    w2 = h[1:] + 2 * h[:-1]
+    mask = (delta[:-1] * delta[1:]) > 0
+    denom = np.where(mask, w1 / np.where(delta[:-1] == 0, 1, delta[:-1])
+                     + w2 / np.where(delta[1:] == 0, 1, delta[1:]), 1.0)
+    d[1:-1] = np.where(mask, (w1 + w2) / denom, 0.0)
+    # One-sided ends (shape-preserving three-point formula).
+    d[0] = _edge_slope(h[0], h[1], delta[0], delta[1])
+    d[-1] = _edge_slope(h[-1], h[-2], delta[-1], delta[-2])
+    return d
+
+
+def _edge_slope(h0: float, h1: float, d0: float, d1: float) -> float:
+    slope = ((2 * h0 + h1) * d0 - h0 * d1) / (h0 + h1)
+    if np.sign(slope) != np.sign(d0):
+        return 0.0
+    if np.sign(d0) != np.sign(d1) and abs(slope) > 3 * abs(d0):
+        return 3 * d0
+    return slope
+
+
+def pchip_interp(x_new, x, y) -> np.ndarray:
+    """Shape-preserving cubic Hermite interpolation (PCHIP), clamped at ends."""
+    x = as_1d_float_array(x, "x")
+    y = as_1d_float_array(y, "y")
+    check_same_length("x", x, "y", y)
+    _check_strictly_increasing(x, "x")
+    x_new = np.asarray(x_new, dtype=np.float64)
+    if x.size == 1:
+        return np.full(x_new.shape, y[0])
+    d = pchip_slopes(x, y)
+    idx = np.clip(np.searchsorted(x, x_new, side="right") - 1, 0, x.size - 2)
+    h = x[idx + 1] - x[idx]
+    t = np.clip((x_new - x[idx]) / h, 0.0, 1.0)
+    h00 = (1 + 2 * t) * (1 - t) ** 2
+    h10 = t * (1 - t) ** 2
+    h01 = t * t * (3 - 2 * t)
+    h11 = t * t * (t - 1)
+    return (h00 * y[idx] + h10 * h * d[idx]
+            + h01 * y[idx + 1] + h11 * h * d[idx + 1])
+
+
+def natural_cubic_spline_coeffs(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Second derivatives of the natural cubic spline through ``(x, y)``.
+
+    Solves the classic tridiagonal system (Thomas algorithm) with natural
+    boundary conditions ``y'' = 0`` at both ends.  Needed by the EMD
+    baseline, whose envelopes are cubic splines through the extrema.
+    """
+    n = x.size
+    m = np.zeros(n)
+    if n < 3:
+        return m
+    h = np.diff(x)
+    # Tridiagonal system for interior second derivatives.
+    lower = h[:-1].copy()
+    diag = 2.0 * (h[:-1] + h[1:])
+    upper = h[1:].copy()
+    rhs = 6.0 * (np.diff(y[1:]) / h[1:] - np.diff(y[:-1]) / h[:-1])
+    # Thomas forward sweep.
+    for i in range(1, rhs.size):
+        w = lower[i] / diag[i - 1]
+        diag[i] -= w * upper[i - 1]
+        rhs[i] -= w * rhs[i - 1]
+    # Back substitution.
+    interior = np.zeros(rhs.size)
+    interior[-1] = rhs[-1] / diag[-1]
+    for i in range(rhs.size - 2, -1, -1):
+        interior[i] = (rhs[i] - upper[i] * interior[i + 1]) / diag[i]
+    m[1:-1] = interior
+    return m
+
+
+def cubic_spline_interp(x_new, x, y) -> np.ndarray:
+    """Natural cubic spline evaluation with linear extrapolation clamped off.
+
+    Outside the knot span the boundary values are returned (the EMD mirror
+    extension keeps queries in-range; clamping guards float fuzz).
+    """
+    x = as_1d_float_array(x, "x")
+    y = as_1d_float_array(y, "y")
+    check_same_length("x", x, "y", y)
+    _check_strictly_increasing(x, "x")
+    x_new = np.asarray(x_new, dtype=np.float64)
+    if x.size == 1:
+        return np.full(x_new.shape, y[0])
+    if x.size == 2:
+        return linear_interp(x_new, x, y)
+    m = natural_cubic_spline_coeffs(x, y)
+    idx = np.clip(np.searchsorted(x, x_new, side="right") - 1, 0, x.size - 2)
+    h = x[idx + 1] - x[idx]
+    t = np.clip(x_new, x[0], x[-1]) - x[idx]
+    a = (m[idx + 1] - m[idx]) / (6 * h)
+    b = m[idx] / 2
+    c = (y[idx + 1] - y[idx]) / h - h * (2 * m[idx] + m[idx + 1]) / 6
+    return y[idx] + t * (c + t * (b + t * a))
+
+
+class Interp1d:
+    """Reusable interpolant over fixed knots.
+
+    Parameters
+    ----------
+    x, y:
+        Knot abscissae (strictly increasing) and ordinates.
+    kind:
+        ``"linear"`` or ``"pchip"``.
+    """
+
+    def __init__(self, x, y, kind: str = "linear"):
+        if kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown interpolation kind {kind!r}; expected one of {_KINDS}"
+            )
+        self.x = as_1d_float_array(x, "x")
+        self.y = as_1d_float_array(y, "y")
+        check_same_length("x", self.x, "y", self.y)
+        _check_strictly_increasing(self.x, "x")
+        self.kind = kind
+        self._slopes = pchip_slopes(self.x, self.y) if kind == "pchip" and self.x.size > 1 else None
+
+    def __call__(self, x_new) -> np.ndarray:
+        if self.kind == "linear":
+            return linear_interp(x_new, self.x, self.y)
+        if self.kind == "cubic":
+            return cubic_spline_interp(x_new, self.x, self.y)
+        return pchip_interp(x_new, self.x, self.y)
+
+    @property
+    def domain(self):
+        """``(x_min, x_max)`` span of the knots."""
+        return float(self.x[0]), float(self.x[-1])

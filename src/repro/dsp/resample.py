@@ -1,0 +1,52 @@
+"""Resampling between uniform rates and arbitrary time grids.
+
+The pattern aligner (paper Sec. 3.1) is a *non-uniform* resampler: it maps a
+uniformly-sampled signal onto the non-uniform time grid where the target
+source's phase advances uniformly.  These helpers are the shared machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dsp.interpolate import Interp1d
+from repro.utils.validation import as_1d_float_array, check_positive
+
+
+def time_axis(n_samples: int, sampling_hz: float, start: float = 0.0) -> np.ndarray:
+    """Uniform time stamps ``start + n / fs`` for ``n = 0..n_samples-1``."""
+    check_positive(sampling_hz, "sampling_hz")
+    if n_samples <= 0:
+        raise ConfigurationError(f"n_samples must be positive, got {n_samples}")
+    return start + np.arange(n_samples) / sampling_hz
+
+
+def resample_to_grid(t, x, t_new, kind: str = "linear") -> np.ndarray:
+    """Resample samples ``(t, x)`` onto arbitrary timestamps ``t_new``."""
+    t = as_1d_float_array(t, "t")
+    x = as_1d_float_array(x, "x")
+    interp = Interp1d(t, x, kind=kind)
+    return interp(np.asarray(t_new, dtype=np.float64))
+
+
+def resample_to_rate(x, sampling_hz_in: float, sampling_hz_out: float,
+                     kind: str = "linear") -> np.ndarray:
+    """Resample a uniform signal to a new uniform rate over the same span."""
+    x = as_1d_float_array(x, "x")
+    check_positive(sampling_hz_in, "sampling_hz_in")
+    check_positive(sampling_hz_out, "sampling_hz_out")
+    duration = (x.size - 1) / sampling_hz_in
+    n_out = int(np.floor(duration * sampling_hz_out)) + 1
+    t_in = time_axis(x.size, sampling_hz_in)
+    t_out = np.arange(n_out) / sampling_hz_out
+    return resample_to_grid(t_in, x, t_out, kind=kind)
+
+
+def decimate(x, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample (caller is responsible for
+    anti-alias filtering first)."""
+    x = as_1d_float_array(x, "x")
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    return x[::factor].copy()

@@ -1,0 +1,203 @@
+"""Short-time Fourier transform and its inverse, implemented from scratch.
+
+Weighted overlap-add (WOLA) convention: the same window is applied at
+analysis and synthesis and the overlap-added result is normalised by the
+summed squared window, giving perfect reconstruction for any window/hop with
+non-vanishing overlap sum (Griffin & Lim 1984).
+
+The DHF pipeline operates on :class:`StftResult` objects: magnitude for the
+deep-prior in-painting, phase for the cyclic phase interpolation, and
+:func:`istft` to return to the time domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.dsp.windows import get_window
+from repro.utils.validation import as_1d_float_array, check_positive_int
+
+
+@dataclass
+class StftResult:
+    """A complex STFT along with everything needed to invert it.
+
+    Attributes
+    ----------
+    values:
+        Complex array of shape ``(n_freq, n_frames)``.
+    n_fft:
+        FFT/window length in samples.
+    hop:
+        Hop (stride) between frames in samples.
+    sampling_hz:
+        Sampling rate of the analysed signal.
+    n_samples:
+        Length of the original signal (for exact-length inversion).
+    window_name:
+        Name of the analysis window.
+    """
+
+    values: np.ndarray
+    n_fft: int
+    hop: int
+    sampling_hz: float
+    n_samples: int
+    window_name: str = "hann"
+
+    @property
+    def n_freq(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_frames(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def magnitude(self) -> np.ndarray:
+        """Magnitude spectrogram ``|S|`` of shape ``(n_freq, n_frames)``."""
+        return np.abs(self.values)
+
+    @property
+    def phase(self) -> np.ndarray:
+        """Phase angle of each bin, in radians."""
+        return np.angle(self.values)
+
+    def freqs(self) -> np.ndarray:
+        """Centre frequency (Hz) of each row."""
+        return np.fft.rfftfreq(self.n_fft, d=1.0 / self.sampling_hz)
+
+    def times(self) -> np.ndarray:
+        """Centre time (s) of each frame."""
+        return (np.arange(self.n_frames) * self.hop) / self.sampling_hz
+
+    def freq_resolution(self) -> float:
+        """Bin spacing in Hz."""
+        return self.sampling_hz / self.n_fft
+
+    def with_values(self, values: np.ndarray) -> "StftResult":
+        """Copy of this result with ``values`` replaced (same geometry)."""
+        values = np.asarray(values)
+        if values.shape != self.values.shape:
+            raise ShapeError(
+                f"replacement values shape {values.shape} != {self.values.shape}"
+            )
+        return replace(self, values=values.astype(np.complex128, copy=True))
+
+    def copy(self) -> "StftResult":
+        return replace(self, values=self.values.copy())
+
+
+def frame_count(n_samples: int, n_fft: int, hop: int) -> int:
+    """Number of centred STFT frames produced for a signal of given length."""
+    return 1 + (n_samples + n_fft - n_fft) // hop if n_samples >= 0 else 0
+
+
+def stft(
+    x,
+    sampling_hz: float,
+    n_fft: int,
+    hop: Optional[int] = None,
+    window: str = "hann",
+) -> StftResult:
+    """Compute the STFT of a real signal.
+
+    The signal is centred: ``n_fft // 2`` zeros are (virtually) prepended
+    and appended so frame ``k`` is centred at sample ``k * hop``.
+
+    Parameters
+    ----------
+    x:
+        Real 1-D signal.
+    sampling_hz:
+        Sampling rate in Hz.
+    n_fft:
+        Window/FFT length in samples.
+    hop:
+        Frame stride in samples; defaults to ``n_fft // 4``.
+    window:
+        Window name understood by :func:`repro.dsp.windows.get_window`.
+    """
+    x = as_1d_float_array(x, "x")
+    check_positive_int(n_fft, "n_fft")
+    if hop is None:
+        hop = n_fft // 4
+    check_positive_int(hop, "hop")
+    if hop > n_fft:
+        raise ConfigurationError(f"hop {hop} must be <= n_fft {n_fft}")
+    if sampling_hz <= 0:
+        raise ConfigurationError(f"sampling_hz must be positive, got {sampling_hz}")
+
+    win = get_window(window, n_fft)
+    pad = n_fft // 2
+    xp = np.concatenate([np.zeros(pad), x, np.zeros(pad)])
+    n_frames = 1 + (xp.size - n_fft) // hop
+    if n_frames < 1:
+        raise ShapeError(
+            f"signal of {x.size} samples too short for n_fft={n_fft}"
+        )
+    strides = (xp.strides[0] * hop, xp.strides[0])
+    frames = np.lib.stride_tricks.as_strided(
+        xp, shape=(n_frames, n_fft), strides=strides, writeable=False
+    )
+    spec = np.fft.rfft(frames * win, axis=1).T  # (n_freq, n_frames)
+    return StftResult(
+        values=spec, n_fft=n_fft, hop=hop, sampling_hz=float(sampling_hz),
+        n_samples=x.size, window_name=window,
+    )
+
+
+def istft(result: StftResult, length: Optional[int] = None) -> np.ndarray:
+    """Invert an STFT via weighted overlap-add.
+
+    Parameters
+    ----------
+    result:
+        The :class:`StftResult` to invert (possibly with modified values).
+    length:
+        Output length; defaults to ``result.n_samples``.
+    """
+    values = np.asarray(result.values)
+    if values.ndim != 2:
+        raise ShapeError(f"STFT values must be 2-D, got {values.shape}")
+    n_fft, hop = result.n_fft, result.hop
+    if values.shape[0] != n_fft // 2 + 1:
+        raise ShapeError(
+            f"{values.shape[0]} frequency rows inconsistent with n_fft={n_fft}"
+        )
+    if length is None:
+        length = result.n_samples
+    win = get_window(result.window_name, n_fft)
+    frames = np.fft.irfft(values.T, n=n_fft, axis=1)  # (n_frames, n_fft)
+    frames *= win
+
+    pad = n_fft // 2
+    total = pad + (values.shape[1] - 1) * hop + n_fft
+    out = np.zeros(total)
+    norm = np.zeros(total)
+    sq = win * win
+    for k in range(values.shape[1]):
+        start = k * hop
+        out[start: start + n_fft] += frames[k]
+        norm[start: start + n_fft] += sq
+    # Avoid division blow-ups at the extreme edges where overlap is partial.
+    norm = np.where(norm > 1e-12, norm, 1.0)
+    out /= norm
+    signal = out[pad: pad + length]
+    if signal.size < length:
+        signal = np.pad(signal, (0, length - signal.size))
+    return signal
+
+
+def spectrogram_db(magnitude: np.ndarray, floor_db: float = -120.0) -> np.ndarray:
+    """Convert a magnitude spectrogram to decibels with a noise floor."""
+    magnitude = np.asarray(magnitude, dtype=np.float64)
+    ref = magnitude.max(initial=0.0)
+    if ref <= 0:
+        return np.full(magnitude.shape, floor_db)
+    db = 20.0 * np.log10(np.maximum(magnitude / ref, 10 ** (floor_db / 20.0)))
+    return db

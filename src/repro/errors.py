@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration problems from numerical
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An argument or configuration value is invalid or inconsistent."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array has the wrong shape or dimensionality for an operation."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data violates an algorithm precondition (NaNs, empty, ...)."""
+
+
+class GraphError(ReproError, RuntimeError):
+    """The autograd graph was used incorrectly (e.g. backward twice)."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A model state dict could not be saved or restored."""

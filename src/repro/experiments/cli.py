@@ -1,0 +1,96 @@
+"""Command-line entry point for the experiment harness.
+
+Regenerate any paper artefact from the shell::
+
+    python -m repro.experiments.cli table2 --preset smoke
+    python -m repro.experiments.cli figure6 --preset fast --seed 7
+    python -m repro.experiments.cli all --preset smoke
+
+The rendered table/series is printed to stdout; ``--output`` additionally
+writes it to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.config import available_presets
+from repro.experiments.common import ExperimentContext
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.ablations import (
+    run_anchor_pooling_ablation,
+    run_dilation_ablation,
+    run_phase_policy_ablation,
+)
+
+#: Artefact name -> runner taking an ExperimentContext.
+RUNNERS: Dict[str, Callable] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "ablation-dilation": run_dilation_ablation,
+    "ablation-anchor-pooling": run_anchor_pooling_ablation,
+    "ablation-phase": run_phase_policy_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description="Regenerate the DHF paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--preset", default="smoke", choices=available_presets(),
+        help="experiment scale (default: smoke)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2024, help="reproducibility seed",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="optional path to also write the rendered output to",
+    )
+    return parser
+
+
+def run_one(name: str, context: ExperimentContext) -> str:
+    """Run one artefact and return its rendered report."""
+    start = time.time()
+    result = RUNNERS[name](context)
+    elapsed = time.time() - start
+    return f"## {name} ({elapsed:.1f}s)\n\n{result.render()}"
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    context = ExperimentContext.from_name(args.preset, seed=args.seed)
+    names = sorted(RUNNERS) if args.artefact == "all" else [args.artefact]
+    reports = [run_one(name, context) for name in names]
+    text = "\n\n".join(reports)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

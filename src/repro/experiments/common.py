@@ -1,0 +1,81 @@
+"""Shared infrastructure for the experiment runners.
+
+Each ``repro.experiments.<artefact>`` module regenerates one table or
+figure of the paper.  Runners accept a :class:`repro.config.Preset` so the
+same code path serves both paper-scale runs (``full``) and CI-scale runs
+(``fast``/``smoke``), and each embeds the paper's reported values for
+side-by-side comparison in its rendered output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from repro.baselines import (
+    EMDSeparator,
+    NMFSeparator,
+    REPETSeparator,
+    SpectralMaskingSeparator,
+    VMDSeparator,
+)
+from repro.config import Preset, get_preset
+from repro.core import DHFConfig, DHFSeparator
+from repro.core.inpainting import InpaintingConfig
+from repro.separation import Separator
+
+#: Method display order of Table 2.
+TABLE2_METHOD_ORDER = (
+    "EMD", "VMD", "NMF", "REPET", "REPET-Ext.", "Spect. Masking", "DHF",
+)
+
+
+def build_dhf(preset: Preset, **overrides) -> DHFSeparator:
+    """A DHF separator configured from a preset."""
+    return DHFSeparator(DHFConfig.from_preset(preset, **overrides))
+
+
+def build_separators(
+    preset: Preset,
+    include: Optional[tuple] = None,
+) -> Dict[str, Separator]:
+    """The Table 2 line-up scaled to a preset.
+
+    Parameters
+    ----------
+    preset:
+        Controls signal durations and deep-prior budgets.
+    include:
+        Optional subset of method names (paper spellings) to build.
+    """
+    methods: Dict[str, Separator] = {}
+    candidates: Dict[str, Separator] = {
+        "EMD": EMDSeparator(),
+        "VMD": VMDSeparator(),
+        "NMF": NMFSeparator(),
+        "REPET": REPETSeparator(extended=False),
+        "REPET-Ext.": REPETSeparator(extended=True),
+        "Spect. Masking": SpectralMaskingSeparator(),
+        "DHF": build_dhf(preset),
+    }
+    for name in TABLE2_METHOD_ORDER:
+        if include is not None and name not in include:
+            continue
+        methods[name] = candidates[name]
+    return methods
+
+
+@dataclass
+class ExperimentContext:
+    """Bundles the preset and bookkeeping every runner needs."""
+
+    preset: Preset
+    seed: int = 2024
+
+    @classmethod
+    def from_name(cls, preset_name: Optional[str] = None, seed: int = 2024):
+        return cls(preset=get_preset(preset_name), seed=seed)
+
+    @property
+    def duration_s(self) -> float:
+        return self.preset.signal_duration_s

@@ -1,0 +1,16 @@
+"""repro.freq — fundamental-frequency estimation from the mixed signal."""
+
+from repro.freq.salience import SalienceMap, compute_salience
+from repro.freq.tracker import (
+    FundamentalTracker,
+    TrackedSource,
+    suppress_track,
+    track_to_samples,
+    viterbi_track,
+)
+
+__all__ = [
+    "SalienceMap", "compute_salience",
+    "FundamentalTracker", "TrackedSource", "suppress_track",
+    "track_to_samples", "viterbi_track",
+]

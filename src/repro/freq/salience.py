@@ -1,0 +1,114 @@
+"""Harmonic-sum salience maps for fundamental-frequency tracking.
+
+The paper assumes source fundamentals are known "through auxiliary sensing
+modalities or preliminary analysis of the mixed signal" (Sec. 1, refs
+[7, 12, 20]).  This module implements the *preliminary analysis* route: a
+time-frequency salience map where each candidate fundamental is scored by
+the decayed sum of spectrogram power at its harmonics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.stft import StftResult, stft
+from repro.errors import ConfigurationError
+from repro.utils.validation import as_1d_float_array, check_positive
+
+
+@dataclass
+class SalienceMap:
+    """Harmonic-sum salience over (candidate f0, frame).
+
+    Attributes
+    ----------
+    values:
+        Salience matrix of shape ``(n_candidates, n_frames)``.
+    f0_grid:
+        Candidate fundamentals (Hz).
+    frame_times:
+        Frame centre times (s).
+    """
+
+    values: np.ndarray
+    f0_grid: np.ndarray
+    frame_times: np.ndarray
+
+    @property
+    def n_candidates(self) -> int:
+        return self.f0_grid.size
+
+    @property
+    def n_frames(self) -> int:
+        return self.frame_times.size
+
+    def best_per_frame(self) -> np.ndarray:
+        """Greedy per-frame argmax track (no continuity constraint)."""
+        return self.f0_grid[np.argmax(self.values, axis=0)]
+
+
+def compute_salience(
+    signal,
+    sampling_hz: float,
+    f_min: float,
+    f_max: float,
+    n_candidates: int = 120,
+    n_harmonics: int = 4,
+    decay: float = 0.8,
+    window_s: float = 8.0,
+    hop_s: Optional[float] = None,
+) -> SalienceMap:
+    """Build a harmonic-sum salience map of a mixed signal.
+
+    Parameters
+    ----------
+    signal:
+        The mixed measurement.
+    f_min, f_max:
+        Candidate fundamental range (Hz).
+    n_candidates:
+        Grid resolution across ``[f_min, f_max]``.
+    n_harmonics, decay:
+        Harmonic count and per-harmonic weight decay of the salience sum.
+    window_s, hop_s:
+        Analysis window and hop in seconds (hop defaults to a quarter
+        window).
+    """
+    signal = as_1d_float_array(signal, "signal")
+    check_positive(sampling_hz, "sampling_hz")
+    if not 0 < f_min < f_max:
+        raise ConfigurationError(
+            f"need 0 < f_min < f_max, got [{f_min}, {f_max}]"
+        )
+    if n_harmonics * f_max > sampling_hz / 2 * n_harmonics:
+        # Harmonics beyond Nyquist simply contribute nothing.
+        pass
+    n_fft = int(window_s * sampling_hz)
+    n_fft = max(32, min(n_fft, signal.size))
+    hop = int((hop_s if hop_s is not None else window_s / 4) * sampling_hz)
+    hop = max(1, min(hop, n_fft))
+    spec = stft(signal, sampling_hz, n_fft=n_fft, hop=hop)
+    power = spec.magnitude ** 2
+    freqs = spec.freqs()
+
+    f0_grid = np.linspace(f_min, f_max, n_candidates)
+    salience = np.zeros((n_candidates, spec.n_frames))
+    for k in range(1, n_harmonics + 1):
+        target = k * f0_grid
+        valid = target <= freqs[-1]
+        if not valid.any():
+            continue
+        # Linear interpolation of each frame's power at the harmonic bins.
+        idx = np.searchsorted(freqs, target[valid])
+        idx = np.clip(idx, 1, freqs.size - 1)
+        left = freqs[idx - 1]
+        right = freqs[idx]
+        frac = (target[valid] - left) / np.maximum(right - left, 1e-12)
+        interp = (1 - frac[:, None]) * power[idx - 1, :] + frac[:, None] * power[idx, :]
+        salience[valid] += decay ** (k - 1) * interp
+    return SalienceMap(
+        values=salience, f0_grid=f0_grid, frame_times=spec.times()
+    )

@@ -1,0 +1,165 @@
+"""Viterbi-smoothed fundamental-frequency tracking.
+
+Combines the harmonic-sum salience map with a transition penalty that
+limits frame-to-frame frequency jumps, yielding a smooth maximum-likelihood
+track.  Multiple sources are tracked greedily: after each track is found,
+its harmonic neighbourhood is suppressed in the salience map before the
+next source is tracked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.freq.salience import SalienceMap, compute_salience
+from repro.utils.validation import as_1d_float_array
+
+
+def viterbi_track(
+    salience: SalienceMap,
+    transition_sigma_hz: float = 0.08,
+    floor: float = 1e-12,
+) -> np.ndarray:
+    """Maximum-likelihood f0 path through a salience map.
+
+    Emission log-probabilities are log-salience; transitions are Gaussian
+    in frequency change with scale ``transition_sigma_hz`` per frame.
+    """
+    if transition_sigma_hz <= 0:
+        raise ConfigurationError(
+            f"transition_sigma_hz must be positive, got {transition_sigma_hz}"
+        )
+    values = np.log(np.maximum(salience.values, floor))
+    grid = salience.f0_grid
+    n_cand, n_frames = values.shape
+    # Transition log-penalty matrix between candidate bins.
+    diff = grid[:, None] - grid[None, :]
+    trans = -0.5 * (diff / transition_sigma_hz) ** 2
+
+    score = values[:, 0].copy()
+    backpointer = np.zeros((n_cand, n_frames), dtype=np.int64)
+    for t in range(1, n_frames):
+        total = score[None, :] + trans  # (to, from)
+        backpointer[:, t] = np.argmax(total, axis=1)
+        score = total[np.arange(n_cand), backpointer[:, t]] + values[:, t]
+    path = np.empty(n_frames, dtype=np.int64)
+    path[-1] = int(np.argmax(score))
+    for t in range(n_frames - 1, 0, -1):
+        path[t - 1] = backpointer[path[t], t]
+    return grid[path]
+
+
+def track_to_samples(
+    track_frames: np.ndarray,
+    frame_times: np.ndarray,
+    n_samples: int,
+    sampling_hz: float,
+) -> np.ndarray:
+    """Interpolate a per-frame track to per-sample resolution."""
+    track_frames = as_1d_float_array(track_frames, "track_frames")
+    frame_times = as_1d_float_array(frame_times, "frame_times")
+    t = np.arange(n_samples) / sampling_hz
+    return np.interp(t, frame_times, track_frames)
+
+
+def suppress_track(
+    salience: SalienceMap,
+    track: np.ndarray,
+    width_hz: float = 0.15,
+    n_harmonics: int = 3,
+) -> SalienceMap:
+    """Zero out a tracked source's harmonic/subharmonic neighbourhood.
+
+    Suppresses candidates near ``track``, its harmonics and subharmonics so
+    the next greedy tracking round locks onto a different source.
+    """
+    values = salience.values.copy()
+    grid = salience.f0_grid
+    ratios = [1.0] + [float(k) for k in range(2, n_harmonics + 1)] + \
+             [1.0 / k for k in range(2, n_harmonics + 1)]
+    for t in range(values.shape[1]):
+        for ratio in ratios:
+            centre = track[t] * ratio
+            sel = np.abs(grid - centre) <= width_hz
+            values[sel, t] = 0.0
+    return SalienceMap(values=values, f0_grid=grid,
+                       frame_times=salience.frame_times)
+
+
+@dataclass
+class TrackedSource:
+    """One tracked fundamental, at frame and sample resolution."""
+
+    f0_frames: np.ndarray
+    f0_samples: np.ndarray
+    frame_times: np.ndarray
+
+
+class FundamentalTracker:
+    """Greedy multi-source f0 tracker over a shared salience map.
+
+    Implements the "preliminary analysis of the mixed signal" route of the
+    paper's assumption 3.  Sources are tracked strongest-first; each found
+    track is suppressed before the next round.
+    """
+
+    def __init__(
+        self,
+        f_min: float = 0.4,
+        f_max: float = 4.0,
+        n_candidates: int = 160,
+        n_harmonics: int = 4,
+        window_s: float = 8.0,
+        transition_sigma_hz: float = 0.08,
+    ):
+        if not 0 < f_min < f_max:
+            raise ConfigurationError(
+                f"need 0 < f_min < f_max, got [{f_min}, {f_max}]"
+            )
+        self.f_min = f_min
+        self.f_max = f_max
+        self.n_candidates = n_candidates
+        self.n_harmonics = n_harmonics
+        self.window_s = window_s
+        self.transition_sigma_hz = transition_sigma_hz
+
+    def track(
+        self,
+        signal,
+        sampling_hz: float,
+        n_sources: int = 1,
+    ) -> List[TrackedSource]:
+        """Track ``n_sources`` fundamentals, strongest first."""
+        signal = as_1d_float_array(signal, "signal")
+        if n_sources < 1:
+            raise ConfigurationError(
+                f"n_sources must be >= 1, got {n_sources}"
+            )
+        salience = compute_salience(
+            signal, sampling_hz, self.f_min, self.f_max,
+            n_candidates=self.n_candidates, n_harmonics=self.n_harmonics,
+            window_s=self.window_s,
+        )
+        sources: List[TrackedSource] = []
+        current = salience
+        # The salience mainlobe of an analysis window spans ~2/window_s Hz;
+        # suppression must cover it or the next pass re-locks onto the
+        # previous source's skirt.
+        suppress_width = max(0.15, 2.0 / self.window_s)
+        for _ in range(n_sources):
+            frames = viterbi_track(
+                current, transition_sigma_hz=self.transition_sigma_hz
+            )
+            samples = track_to_samples(
+                frames, salience.frame_times, signal.size, sampling_hz
+            )
+            sources.append(TrackedSource(
+                f0_frames=frames, f0_samples=samples,
+                frame_times=salience.frame_times,
+            ))
+            current = suppress_track(current, frames, width_hz=suppress_width)
+        return sources

@@ -1,0 +1,24 @@
+"""repro.metrics — scoring and paper-style aggregation."""
+
+from repro.metrics.sdr import db_to_linear, linear_to_db, sdr_db, sdr_linear, si_sdr_db
+from repro.metrics.mse import geometric_mean, mse, nmse, rmse
+from repro.metrics.correlation import (
+    correlation_error,
+    correlation_error_improvement,
+    pearson,
+)
+from repro.metrics.aggregate import (
+    average_mse,
+    average_sdr_db,
+    improvement_db,
+    improvement_fraction_mse,
+    summarize_methods,
+)
+
+__all__ = [
+    "db_to_linear", "linear_to_db", "sdr_db", "sdr_linear", "si_sdr_db",
+    "geometric_mean", "mse", "nmse", "rmse",
+    "correlation_error", "correlation_error_improvement", "pearson",
+    "average_mse", "average_sdr_db", "improvement_db",
+    "improvement_fraction_mse", "summarize_methods",
+]

@@ -1,0 +1,65 @@
+"""Aggregation rules used in Table 2 of the paper.
+
+Sec. 4.2: *"For averaging MSE values, we employ geometric averaging,
+whereas for SDR averaging, we use arithmetic averaging in their original
+linear scale."*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.metrics.mse import geometric_mean
+from repro.metrics.sdr import db_to_linear, linear_to_db
+from repro.utils.validation import as_1d_float_array
+
+
+def average_sdr_db(sdr_values_db) -> float:
+    """Paper-style SDR average: arithmetic mean in linear scale, in dB out."""
+    values = as_1d_float_array(sdr_values_db, "sdr_values_db")
+    linear = np.array([db_to_linear(v) for v in values])
+    return linear_to_db(float(np.mean(linear)))
+
+
+def average_mse(mse_values) -> float:
+    """Paper-style MSE average: geometric mean."""
+    return geometric_mean(mse_values)
+
+
+def improvement_db(new_db: float, best_previous_db: float) -> float:
+    """SDR improvement in dB over the best previous method."""
+    return float(new_db - best_previous_db)
+
+
+def improvement_fraction_mse(new_mse: float, best_previous_mse: float) -> float:
+    """Fractional MSE reduction versus the best previous method."""
+    if best_previous_mse <= 0:
+        raise DataError("best previous MSE must be positive")
+    return float((best_previous_mse - new_mse) / best_previous_mse)
+
+
+def summarize_methods(
+    per_method_scores: Mapping[str, Mapping[str, Tuple[float, float]]],
+) -> Dict[str, Tuple[float, float]]:
+    """Aggregate per-case (SDR dB, MSE) scores into Table 2's Average row.
+
+    Parameters
+    ----------
+    per_method_scores:
+        ``{method: {case: (sdr_db, mse)}}``.
+
+    Returns
+    -------
+    ``{method: (avg_sdr_db, avg_mse)}`` using the paper's rules.
+    """
+    summary: Dict[str, Tuple[float, float]] = {}
+    for method, cases in per_method_scores.items():
+        if not cases:
+            raise DataError(f"method {method!r} has no scores")
+        sdrs = [score[0] for score in cases.values()]
+        mses = [score[1] for score in cases.values()]
+        summary[method] = (average_sdr_db(sdrs), average_mse(mses))
+    return summary

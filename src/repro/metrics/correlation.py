@@ -1,0 +1,46 @@
+"""Correlation metrics for the in-vivo SpO2 study (Fig. 6).
+
+The paper reports Pearson correlation between SpO2 estimates and blood-draw
+SaO2 readings, and summarises improvement as reduction of the *correlation
+error* — the distance from the ideal correlation of 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.validation import as_1d_float_array, check_same_length
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient of two equal-length vectors."""
+    x = as_1d_float_array(x, "x")
+    y = as_1d_float_array(y, "y")
+    check_same_length("x", x, "y", y)
+    if x.size < 2:
+        raise DataError("pearson requires at least 2 points")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(np.sum(xc ** 2) * np.sum(yc ** 2))
+    if denom <= 0:
+        raise DataError("pearson undefined for a constant input")
+    return float(np.sum(xc * yc) / denom)
+
+
+def correlation_error(r: float) -> float:
+    """Distance of a correlation from the ideal value of 1."""
+    return float(abs(1.0 - r))
+
+
+def correlation_error_improvement(r_baseline: float, r_improved: float) -> float:
+    """Fractional reduction in correlation error (paper's "80.5%").
+
+    ``(err_base - err_new) / err_base`` — positive when the improved method
+    moves the correlation closer to 1.
+    """
+    err_base = correlation_error(r_baseline)
+    err_new = correlation_error(r_improved)
+    if err_base <= 0:
+        raise DataError("baseline already has perfect correlation")
+    return float((err_base - err_new) / err_base)

@@ -1,0 +1,38 @@
+"""Mean-squared-error metrics with the paper's aggregation convention."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.validation import as_1d_float_array, check_same_length
+
+
+def mse(estimate, reference) -> float:
+    """Mean squared error between a separated source and its ground truth."""
+    estimate = as_1d_float_array(estimate, "estimate")
+    reference = as_1d_float_array(reference, "reference")
+    check_same_length("estimate", estimate, "reference", reference)
+    return float(np.mean((estimate - reference) ** 2))
+
+
+def rmse(estimate, reference) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(estimate, reference)))
+
+
+def nmse(estimate, reference) -> float:
+    """MSE normalised by the reference power (dimensionless)."""
+    reference = as_1d_float_array(reference, "reference")
+    power = float(np.mean(reference ** 2))
+    if power <= 0:
+        raise DataError("reference signal has zero energy")
+    return mse(estimate, reference) / power
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (paper's MSE averaging rule)."""
+    values = as_1d_float_array(values, "values")
+    if np.any(values <= 0):
+        raise DataError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,65 @@
+"""Signal-to-distortion ratio metrics.
+
+The paper scores separated sources with SDR in dB (Table 2).  We provide
+the classic definition (reference energy over residual energy) plus the
+scale-invariant variant for diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.utils.validation import as_1d_float_array, check_same_length
+
+#: Floor for degenerate denominators, keeps SDR finite in pathological cases.
+_EPS = 1e-30
+
+
+def sdr_linear(estimate, reference) -> float:
+    """SDR as a linear power ratio ``||s||^2 / ||s - s_hat||^2``."""
+    estimate = as_1d_float_array(estimate, "estimate")
+    reference = as_1d_float_array(reference, "reference")
+    check_same_length("estimate", estimate, "reference", reference)
+    signal_power = float(np.sum(reference ** 2))
+    if signal_power <= 0:
+        raise DataError("reference signal has zero energy")
+    distortion_power = float(np.sum((reference - estimate) ** 2))
+    return signal_power / max(distortion_power, _EPS)
+
+
+def sdr_db(estimate, reference) -> float:
+    """SDR in decibels: ``10 log10(||s||^2 / ||s - s_hat||^2)``."""
+    return 10.0 * np.log10(sdr_linear(estimate, reference))
+
+
+def si_sdr_db(estimate, reference) -> float:
+    """Scale-invariant SDR (Le Roux et al. 2019).
+
+    Projects the estimate onto the reference before computing the ratio, so
+    a pure gain mismatch does not count as distortion.
+    """
+    estimate = as_1d_float_array(estimate, "estimate")
+    reference = as_1d_float_array(reference, "reference")
+    check_same_length("estimate", estimate, "reference", reference)
+    ref_energy = float(np.sum(reference ** 2))
+    if ref_energy <= 0:
+        raise DataError("reference signal has zero energy")
+    scale = float(np.dot(estimate, reference)) / ref_energy
+    target = scale * reference
+    noise = estimate - target
+    target_power = float(np.sum(target ** 2))
+    noise_power = float(np.sum(noise ** 2))
+    return 10.0 * np.log10(max(target_power, _EPS) / max(noise_power, _EPS))
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a dB power ratio to linear scale."""
+    return float(10.0 ** (value_db / 10.0))
+
+
+def linear_to_db(value_linear: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if value_linear <= 0:
+        raise DataError(f"linear ratio must be positive, got {value_linear}")
+    return float(10.0 * np.log10(value_linear))

@@ -1,0 +1,47 @@
+"""repro.nn — a from-scratch NumPy deep-learning substrate.
+
+The grading environment provides no PyTorch, so this package implements the
+minimum viable deep-learning stack the paper's deep-prior method needs:
+reverse-mode autograd (:mod:`repro.nn.tensor`), convolution operators
+including the paper's dilated harmonic convolution
+(:mod:`repro.nn.functional`), a module system, optimisers, and the
+SpAc LU-Net architecture (:mod:`repro.nn.unet`).
+"""
+
+from repro.nn.tensor import Tensor, astensor, concatenate, is_grad_enabled, no_grad, stack, where
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    HarmonicConv2d,
+    InstanceNorm2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    UpsampleNearest,
+)
+from repro.nn.loss import l1_loss, masked_mse_loss, mse_loss
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, Optimizer, RMSprop, StepLR
+from repro.nn.unet import PRIOR_KINDS, SpAcLUNet, UNetConfig, build_prior_network
+from repro.nn.serialization import load_state, save_state
+from repro.nn import functional, init
+from repro.nn.gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor", "astensor", "concatenate", "stack", "where", "no_grad",
+    "is_grad_enabled",
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "AvgPool2d", "Conv2d", "Dropout", "HarmonicConv2d", "InstanceNorm2d",
+    "LeakyReLU", "Linear", "MaxPool2d", "ReLU", "Sigmoid", "Tanh",
+    "UpsampleNearest",
+    "l1_loss", "masked_mse_loss", "mse_loss",
+    "SGD", "Adam", "CosineAnnealingLR", "Optimizer", "RMSprop", "StepLR",
+    "PRIOR_KINDS", "SpAcLUNet", "UNetConfig", "build_prior_network",
+    "load_state", "save_state",
+    "functional", "init",
+    "check_gradients", "numerical_gradient",
+]

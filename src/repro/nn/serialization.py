@@ -1,0 +1,45 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.module import Module
+
+#: Parameter names may contain dots; npz keys may not contain ``/`` safely in
+#: all tools, so we store names verbatim (numpy allows arbitrary str keys).
+_FORMAT_KEY = "__repro_format__"
+_FORMAT_VERSION = "1"
+
+
+def save_state(module: Module, path: str) -> None:
+    """Serialise ``module.state_dict()`` to ``path`` (npz)."""
+    state = module.state_dict()
+    payload: Dict[str, np.ndarray] = {_FORMAT_KEY: np.asarray(_FORMAT_VERSION)}
+    payload.update(state)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Restore parameters saved with :func:`save_state` into ``module``."""
+    if not os.path.exists(path):
+        raise SerializationError(f"state file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        keys = set(archive.files)
+        if _FORMAT_KEY not in keys:
+            raise SerializationError(
+                f"{path} is not a repro state archive (missing format marker)"
+            )
+        version = str(archive[_FORMAT_KEY])
+        if version != _FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported state format version {version!r}"
+            )
+        state = {k: archive[k] for k in keys if k != _FORMAT_KEY}
+    module.load_state_dict(state)

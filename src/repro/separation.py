@@ -1,0 +1,72 @@
+"""The abstract single-detector separation interface.
+
+Lives at the package top level so both :mod:`repro.core` (DHF) and
+:mod:`repro.baselines` can implement it without importing each other.
+Every method consumes the same information the paper grants all
+competitors: the single mixed measurement, its sampling rate, and the
+per-source fundamental-frequency tracks (assumption 3 of Sec. 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.utils.validation import as_1d_float_array
+
+
+class Separator(abc.ABC):
+    """Abstract single-detector source separator."""
+
+    #: Human-readable method name used in experiment tables.
+    name: str = "separator"
+
+    @abc.abstractmethod
+    def separate(
+        self,
+        mixed,
+        sampling_hz: float,
+        f0_tracks: Mapping[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """Separate ``mixed`` into one estimate per entry of ``f0_tracks``.
+
+        Parameters
+        ----------
+        mixed:
+            The single-detector measurement (1-D array).
+        sampling_hz:
+            Sampling rate in Hz.
+        f0_tracks:
+            Per-sample fundamental-frequency track for every source,
+            keyed by source name.
+
+        Returns
+        -------
+        Estimates keyed by the same source names, each the length of
+        ``mixed``.
+        """
+
+    def _validate(self, mixed, sampling_hz, f0_tracks) -> np.ndarray:
+        mixed = as_1d_float_array(mixed, "mixed")
+        if sampling_hz <= 0:
+            raise ConfigurationError(
+                f"sampling_hz must be positive, got {sampling_hz}"
+            )
+        if not f0_tracks:
+            raise ConfigurationError("f0_tracks must contain at least one source")
+        for name, track in f0_tracks.items():
+            track = as_1d_float_array(track, f"f0_tracks[{name!r}]")
+            if track.size != mixed.size:
+                raise DataError(
+                    f"f0 track for {name!r} has {track.size} samples, "
+                    f"mixed has {mixed.size}"
+                )
+            if np.any(track <= 0):
+                raise DataError(f"f0 track for {name!r} must be positive")
+        return mixed
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

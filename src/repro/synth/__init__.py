@@ -1,0 +1,42 @@
+"""repro.synth — quasi-periodic signal synthesis and the Table 1 dataset."""
+
+from repro.synth.templates import (
+    TemplateFn,
+    get_template,
+    normalize_template,
+    ppg_pulse_template,
+    respiration_template,
+    sawtooth_template,
+    sinusoid_template,
+    template_harmonic_energy,
+    template_names,
+)
+from repro.synth.quasiperiodic import (
+    QuasiPeriodicSignal,
+    generate_quasiperiodic,
+    generate_random_source,
+    random_period_amplitudes,
+    random_period_durations,
+)
+from repro.synth.noise import baseline_drift, white_noise
+from repro.synth.mixtures import (
+    MSIG_SPECS,
+    MixtureData,
+    MixtureSpec,
+    SourceSpec,
+    get_mixture_spec,
+    make_all_mixtures,
+    make_mixture,
+    mixture_names,
+)
+
+__all__ = [
+    "TemplateFn", "get_template", "normalize_template", "ppg_pulse_template",
+    "respiration_template", "sawtooth_template", "sinusoid_template",
+    "template_harmonic_energy", "template_names",
+    "QuasiPeriodicSignal", "generate_quasiperiodic", "generate_random_source",
+    "random_period_amplitudes", "random_period_durations",
+    "baseline_drift", "white_noise",
+    "MSIG_SPECS", "MixtureData", "MixtureSpec", "SourceSpec",
+    "get_mixture_spec", "make_all_mixtures", "make_mixture", "mixture_names",
+]

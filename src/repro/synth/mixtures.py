@@ -1,0 +1,253 @@
+"""Table 1 of the paper: the five synthesized TFO mixtures.
+
+Each mixture combines 2–3 quasi-periodic sources (maternal pulsation, fetal
+pulsation, and — for MSig4/5 — respiration) plus Gaussian noise, with the
+exact amplitude statistics and fundamental-frequency ranges printed in
+Table 1.  Source roles follow Sec. 4.1: MSig1–3 mix maternal+fetal
+pulsation; MSig4–5 add respiration as the dominant source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SYNTH_SAMPLING_HZ
+from repro.errors import ConfigurationError
+from repro.synth.noise import white_noise
+from repro.synth.quasiperiodic import QuasiPeriodicSignal, generate_random_source
+from repro.utils.seeding import as_generator, spawn_generators, stable_hash_seed
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One row-group of Table 1: a source's amplitude and frequency ranges.
+
+    Attributes
+    ----------
+    name:
+        Physiological role (``respiration`` / ``maternal`` / ``fetal``).
+    template:
+        Name of the per-period waveform template.
+    amp_mean, amp_std:
+        ``mean(A)`` and ``std(A)`` of the per-period amplitude list.
+    f_min, f_max:
+        Fundamental-frequency range in Hz.
+    """
+
+    name: str
+    template: str
+    amp_mean: float
+    amp_std: float
+    f_min: float
+    f_max: float
+
+
+@dataclass(frozen=True)
+class MixtureSpec:
+    """A full Table 1 column: sources plus the noise level."""
+
+    name: str
+    sources: Tuple[SourceSpec, ...]
+    noise_std: float
+    description: str = ""
+
+    def source_names(self) -> List[str]:
+        return [s.name for s in self.sources]
+
+
+def _pulse(name, amp_mean, amp_std, f_min, f_max) -> SourceSpec:
+    return SourceSpec(name, "ppg_pulse", amp_mean, amp_std, f_min, f_max)
+
+
+def _resp(amp_mean, amp_std, f_min, f_max) -> SourceSpec:
+    return SourceSpec("respiration", "respiration", amp_mean, amp_std, f_min, f_max)
+
+
+#: The five mixtures of Table 1, keyed by lower-case name.
+MSIG_SPECS: Dict[str, MixtureSpec] = {
+    "msig1": MixtureSpec(
+        name="msig1",
+        sources=(
+            _pulse("maternal", 0.08, 0.02, 0.9, 1.7),
+            _pulse("fetal", 0.03, 0.01, 1.8, 3.0),
+        ),
+        noise_std=0.003,
+        description="two sources; interference on the 2nd harmonic of the target",
+    ),
+    "msig2": MixtureSpec(
+        name="msig2",
+        sources=(
+            _pulse("maternal", 0.08, 0.01, 0.8, 1.2),
+            _pulse("fetal", 0.06, 0.02, 1.0, 2.1),
+        ),
+        noise_std=0.01,
+        description="two sources; interference on the 1st harmonic",
+    ),
+    "msig3": MixtureSpec(
+        name="msig3",
+        sources=(
+            _pulse("maternal", 0.4, 0.1, 1.4, 2.3),
+            _pulse("fetal", 0.03, 0.01, 1.6, 3.0),
+        ),
+        noise_std=0.04,
+        description="second source below x0.1 of the dominant amplitude",
+    ),
+    "msig4": MixtureSpec(
+        name="msig4",
+        sources=(
+            _resp(0.74, 0.1, 0.5, 0.9),
+            _pulse("maternal", 0.08, 0.01, 1.1, 1.8),
+            _pulse("fetal", 0.06, 0.01, 1.8, 2.9),
+        ),
+        noise_std=0.01,
+        description="three sources (respiration + maternal + fetal)",
+    ),
+    "msig5": MixtureSpec(
+        name="msig5",
+        sources=(
+            _resp(0.6, 0.2, 0.5, 0.9),
+            _pulse("maternal", 0.07, 0.01, 1.0, 2.0),
+            _pulse("fetal", 0.04, 0.01, 2.1, 3.5),
+        ),
+        noise_std=0.001,
+        description="three sources with longer overlaps",
+    ),
+}
+
+
+@dataclass
+class MixtureData:
+    """A rendered mixture with complete ground truth.
+
+    Attributes
+    ----------
+    spec:
+        The generating :class:`MixtureSpec`.
+    mixed:
+        The single-detector measurement (sum of sources + noise).
+    sources:
+        Ground-truth source signals keyed by role name.
+    f0_tracks:
+        Per-sample fundamental-frequency track of each source (the "known
+        frequency information" assumption of the paper).
+    noise:
+        The additive noise realisation.
+    sampling_hz:
+        Sampling rate (100 Hz per Sec. 4.1).
+    """
+
+    spec: MixtureSpec
+    mixed: np.ndarray
+    sources: Dict[str, np.ndarray]
+    f0_tracks: Dict[str, np.ndarray]
+    noise: np.ndarray
+    sampling_hz: float
+    generated: Dict[str, QuasiPeriodicSignal] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return self.mixed.size
+
+    @property
+    def duration_s(self) -> float:
+        return self.mixed.size / self.sampling_hz
+
+    def source_names(self) -> List[str]:
+        return list(self.sources)
+
+    def source_matrix(self) -> np.ndarray:
+        """Sources stacked as rows in spec order."""
+        return np.stack([self.sources[s.name] for s in self.spec.sources])
+
+
+def mixture_names() -> List[str]:
+    """Names of the Table 1 mixtures (``msig1`` .. ``msig5``)."""
+    return sorted(MSIG_SPECS)
+
+
+def get_mixture_spec(name: str) -> MixtureSpec:
+    """Look up a Table 1 mixture spec by (case-insensitive) name."""
+    try:
+        return MSIG_SPECS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mixture {name!r}; available: {mixture_names()}"
+        ) from None
+
+
+def make_mixture(
+    name: str,
+    duration_s: float = 300.0,
+    sampling_hz: float = SYNTH_SAMPLING_HZ,
+    seed: Optional[int] = None,
+) -> MixtureData:
+    """Render a Table 1 mixture with fresh random walks.
+
+    Parameters
+    ----------
+    name:
+        ``"msig1"`` .. ``"msig5"`` (case-insensitive).
+    duration_s:
+        Signal length in seconds (the paper uses 5-minute segments).
+    sampling_hz:
+        Sampling rate; Table 1 fixes 100 Hz.
+    seed:
+        Seed for reproducible generation; defaults to a stable hash of the
+        mixture name.
+    """
+    spec = get_mixture_spec(name)
+    if seed is None:
+        seed = stable_hash_seed("mixture", spec.name)
+    rngs = spawn_generators(seed, len(spec.sources) + 1)
+
+    sources: Dict[str, np.ndarray] = {}
+    f0_tracks: Dict[str, np.ndarray] = {}
+    generated: Dict[str, QuasiPeriodicSignal] = {}
+    n_samples = int(round(duration_s * sampling_hz))
+    for source_spec, rng in zip(spec.sources, rngs[:-1]):
+        sig = generate_random_source(
+            template=source_spec.template,
+            duration_s=duration_s,
+            f_min=source_spec.f_min,
+            f_max=source_spec.f_max,
+            amp_mean=source_spec.amp_mean,
+            amp_std=source_spec.amp_std,
+            sampling_hz=sampling_hz,
+            rng=rng,
+        )
+        sources[source_spec.name] = sig.samples[:n_samples]
+        f0_tracks[source_spec.name] = sig.f0_track[:n_samples]
+        generated[source_spec.name] = sig
+
+    noise = white_noise(n_samples, spec.noise_std, rng=rngs[-1])
+    mixed = noise + np.sum(
+        np.stack(list(sources.values())), axis=0
+    )
+    return MixtureData(
+        spec=spec,
+        mixed=mixed,
+        sources=sources,
+        f0_tracks=f0_tracks,
+        noise=noise,
+        sampling_hz=float(sampling_hz),
+        generated=generated,
+    )
+
+
+def make_all_mixtures(
+    duration_s: float = 300.0,
+    sampling_hz: float = SYNTH_SAMPLING_HZ,
+    seed: Optional[int] = None,
+) -> Dict[str, MixtureData]:
+    """Render all five Table 1 mixtures (the full synthesized dataset)."""
+    out = {}
+    for i, name in enumerate(mixture_names()):
+        mixture_seed = None if seed is None else seed + i
+        out[name] = make_mixture(
+            name, duration_s=duration_s, sampling_hz=sampling_hz,
+            seed=mixture_seed,
+        )
+    return out

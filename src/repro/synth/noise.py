@@ -1,0 +1,58 @@
+"""Measurement-noise models for the synthesized mixtures.
+
+Table 1 specifies zero-mean Gaussian noise per mixture; baseline drift is
+additionally available for the TFO simulator, which must exercise the DC
+component that pulse-oximetry ratios divide by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.seeding import as_generator
+from repro.utils.validation import check_positive
+
+
+def white_noise(n_samples: int, std: float, rng=None) -> np.ndarray:
+    """Zero-mean Gaussian white noise."""
+    if n_samples < 1:
+        raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+    if std < 0:
+        raise ConfigurationError(f"std must be >= 0, got {std}")
+    rng = as_generator(rng)
+    if std == 0:
+        return np.zeros(n_samples)
+    return rng.normal(0.0, std, size=n_samples)
+
+
+def baseline_drift(
+    n_samples: int,
+    sampling_hz: float,
+    amplitude: float,
+    cutoff_hz: float = 0.05,
+    rng=None,
+) -> np.ndarray:
+    """Slow baseline wander: white noise low-passed below ``cutoff_hz``.
+
+    Synthesised in the frequency domain so no filter transient appears at
+    the edges.  RMS is normalised to ``amplitude``.
+    """
+    if n_samples < 2:
+        raise ConfigurationError(f"n_samples must be >= 2, got {n_samples}")
+    check_positive(sampling_hz, "sampling_hz")
+    check_positive(cutoff_hz, "cutoff_hz")
+    if amplitude < 0:
+        raise ConfigurationError(f"amplitude must be >= 0, got {amplitude}")
+    rng = as_generator(rng)
+    if amplitude == 0:
+        return np.zeros(n_samples)
+    freqs = np.fft.rfftfreq(n_samples, d=1.0 / sampling_hz)
+    spectrum = rng.normal(size=freqs.size) + 1j * rng.normal(size=freqs.size)
+    spectrum[0] = 0.0
+    spectrum *= np.exp(-((freqs / cutoff_hz) ** 2))
+    drift = np.fft.irfft(spectrum, n=n_samples)
+    rms = np.sqrt(np.mean(drift ** 2))
+    if rms <= 0:
+        return np.zeros(n_samples)
+    return drift * (amplitude / rms)

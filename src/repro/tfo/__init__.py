@@ -1,0 +1,54 @@
+"""repro.tfo — transabdominal fetal pulse oximetry (in-vivo substitute)."""
+
+from repro.tfo.sao2 import (
+    CALIBRATION_K,
+    SHEEP_PROFILES,
+    HypoxiaProfile,
+    blood_draw_times,
+    ratio_from_sao2,
+    sao2_from_ratio,
+    sao2_trajectory,
+)
+from repro.tfo.ppg import (
+    DEFAULT_LAYERS,
+    MATERNAL_RATIO,
+    RESPIRATION_RATIO,
+    WAVELENGTHS,
+    TFOLayerSpec,
+    TFOSignals,
+    synthesize_tfo,
+)
+from repro.tfo.dataset import (
+    PAPER_DURATION_S,
+    SheepRecording,
+    make_sheep_recording,
+    sheep_names,
+)
+from repro.tfo.spo2 import (
+    R_WINDOW_S,
+    SpO2Fit,
+    ac_component,
+    dc_component,
+    fit_spo2,
+    modulation_ratio_at_draws,
+)
+from repro.tfo.experiment import (
+    InVivoResult,
+    oracle_in_vivo,
+    run_comparison,
+    run_in_vivo,
+    separate_fetal_both_wavelengths,
+)
+
+__all__ = [
+    "CALIBRATION_K", "SHEEP_PROFILES", "HypoxiaProfile", "blood_draw_times",
+    "ratio_from_sao2", "sao2_from_ratio", "sao2_trajectory",
+    "DEFAULT_LAYERS", "MATERNAL_RATIO", "RESPIRATION_RATIO", "WAVELENGTHS",
+    "TFOLayerSpec", "TFOSignals", "synthesize_tfo",
+    "PAPER_DURATION_S", "SheepRecording", "make_sheep_recording",
+    "sheep_names",
+    "R_WINDOW_S", "SpO2Fit", "ac_component", "dc_component", "fit_spo2",
+    "modulation_ratio_at_draws",
+    "InVivoResult", "oracle_in_vivo", "run_comparison", "run_in_vivo",
+    "separate_fetal_both_wavelengths",
+]

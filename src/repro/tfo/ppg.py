@@ -1,0 +1,198 @@
+"""Two-wavelength transabdominal PPG synthesis (the in-vivo substitute).
+
+The TFO device senses light at 740 nm and 850 nm that has traversed
+maternal and fetal tissue (paper Fig. 6a).  The sensed intensity at each
+wavelength is a DC baseline modulated by three quasi-periodic dynamics —
+respiration, maternal pulsation and fetal pulsation.  Pulse oximetry hinges
+on the *ratio of ratios* (Eq. 11): the fetal AC/DC at the two wavelengths
+encodes fetal SaO2.
+
+The simulator drives the fetal 740/850 amplitude ratio directly from a
+ground-truth SaO2 trajectory through the calibration model (Eq. 10), so the
+full estimation pipeline — separation → AC/DC → R → regression →
+correlation — can be validated against known truth.  Maternal blood stays
+near-fully saturated, so its ratio is constant; respiration modulates both
+wavelengths almost equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.synth.noise import baseline_drift, white_noise
+from repro.synth.quasiperiodic import (
+    QuasiPeriodicSignal,
+    generate_quasiperiodic,
+    random_period_amplitudes,
+    random_period_durations,
+)
+from repro.tfo.sao2 import ratio_from_sao2
+from repro.utils.seeding import as_generator, spawn_generators
+
+#: The device's wavelengths (nm), per the paper.
+WAVELENGTHS = (740, 850)
+
+#: Maternal arterial saturation is ~98 %: fixed modulation ratio.
+MATERNAL_RATIO = 0.62
+
+#: Respiration modulates optical path length, not absorption: ratio ~1.
+RESPIRATION_RATIO = 1.0
+
+
+@dataclass(frozen=True)
+class TFOLayerSpec:
+    """Amplitude and rhythm of one physiological dynamic at 850 nm."""
+
+    name: str
+    template: str
+    ac_fraction: float          # AC amplitude as a fraction of DC at 850 nm
+    ac_std_fraction: float
+    f_min: float
+    f_max: float
+
+
+#: Relative layer strengths: respiration dominates, the fetal pulse is deep
+#: tissue and an order of magnitude weaker than maternal (TFO reality).
+DEFAULT_LAYERS = (
+    TFOLayerSpec("respiration", "respiration", 0.030, 0.006, 0.18, 0.35),
+    TFOLayerSpec("maternal", "ppg_pulse", 0.012, 0.002, 1.2, 2.2),
+    TFOLayerSpec("fetal", "ppg_pulse", 0.0020, 0.0004, 2.2, 3.4),
+)
+
+
+@dataclass
+class TFOSignals:
+    """A synthesized two-wavelength TFO recording with full ground truth.
+
+    Attributes
+    ----------
+    ppg:
+        Sensed intensity per wavelength, keyed 740/850.
+    dc:
+        The DC (baseline) component per wavelength.
+    layers:
+        Ground-truth AC time series per wavelength per layer name.
+    f0_tracks:
+        Fundamental tracks of the three dynamics.
+    sao2:
+        The driving fetal saturation (fraction) per sample.
+    ratio_true:
+        Ground-truth fetal modulation ratio R(t) per sample.
+    sampling_hz:
+        Sampling rate.
+    """
+
+    ppg: Dict[int, np.ndarray]
+    dc: Dict[int, np.ndarray]
+    layers: Dict[int, Dict[str, np.ndarray]]
+    f0_tracks: Dict[str, np.ndarray]
+    sao2: np.ndarray
+    ratio_true: np.ndarray
+    sampling_hz: float
+
+    @property
+    def n_samples(self) -> int:
+        return self.sao2.size
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_samples / self.sampling_hz
+
+
+def synthesize_tfo(
+    sao2: np.ndarray,
+    sampling_hz: float,
+    rng=None,
+    layers: Tuple[TFOLayerSpec, ...] = DEFAULT_LAYERS,
+    dc_base: float = 1.0,
+    dc_wavelength_gain: float = 0.85,
+    drift_fraction: float = 0.002,
+    noise_fraction: float = 0.0004,
+) -> TFOSignals:
+    """Render the two-wavelength PPG driven by a SaO2 trajectory.
+
+    Parameters
+    ----------
+    sao2:
+        Per-sample fetal saturation (fraction).
+    sampling_hz:
+        Output rate.
+    layers:
+        The physiological dynamics to mix.
+    dc_base:
+        DC level at 850 nm (arbitrary intensity units).
+    dc_wavelength_gain:
+        DC level at 740 nm relative to 850 nm.
+    drift_fraction, noise_fraction:
+        Baseline-drift RMS and white-noise sigma relative to DC.
+    """
+    sao2 = np.asarray(sao2, dtype=np.float64)
+    if sao2.ndim != 1 or sao2.size < 2:
+        raise ConfigurationError("sao2 must be a 1-D trajectory")
+    rng = as_generator(rng)
+    n = sao2.size
+    duration_s = n / sampling_hz
+    rngs = spawn_generators(rng, len(layers) + 2)
+
+    ratio_true = ratio_from_sao2(sao2)
+    dc = {
+        850: np.full(n, dc_base),
+        740: np.full(n, dc_base * dc_wavelength_gain),
+    }
+    # Slow baseline drift, correlated but not identical across wavelengths.
+    drift_rng_a, drift_rng_b = spawn_generators(rngs[-2], 2)
+    drift850 = baseline_drift(n, sampling_hz, drift_fraction * dc_base,
+                              rng=drift_rng_a)
+    drift740 = 0.8 * drift850 + 0.2 * baseline_drift(
+        n, sampling_hz, drift_fraction * dc_base, rng=drift_rng_b
+    )
+    dc[850] = dc[850] + drift850
+    dc[740] = dc[740] + drift740
+
+    ac_layers: Dict[int, Dict[str, np.ndarray]] = {740: {}, 850: {}}
+    f0_tracks: Dict[str, np.ndarray] = {}
+    for spec, layer_rng in zip(layers, rngs):
+        durations = random_period_durations(
+            duration_s, spec.f_min, spec.f_max, rng=layer_rng
+        )
+        amplitudes = random_period_amplitudes(
+            durations.size, spec.ac_fraction * dc_base,
+            spec.ac_std_fraction * dc_base, rng=layer_rng,
+        )
+        base: QuasiPeriodicSignal = generate_quasiperiodic(
+            spec.template, durations, amplitudes, sampling_hz,
+            duration_s=duration_s,
+        )
+        samples = base.samples[:n]
+        f0_tracks[spec.name] = base.f0_track[:n]
+        # Wavelength coupling: AC/DC at 740 = ratio * AC/DC at 850.
+        if spec.name == "fetal":
+            ratio = ratio_true
+        elif spec.name == "maternal":
+            ratio = np.full(n, MATERNAL_RATIO)
+        else:
+            ratio = np.full(n, RESPIRATION_RATIO)
+        ac_layers[850][spec.name] = samples
+        ac_layers[740][spec.name] = (
+            samples * ratio * dc[740] / dc[850]
+        )
+
+    ppg = {}
+    for wl in WAVELENGTHS:
+        noise = white_noise(n, noise_fraction * dc_base, rng=rngs[-1])
+        ppg[wl] = dc[wl] + noise + np.sum(
+            np.stack(list(ac_layers[wl].values())), axis=0
+        )
+    return TFOSignals(
+        ppg=ppg,
+        dc=dc,
+        layers=ac_layers,
+        f0_tracks=f0_tracks,
+        sao2=sao2,
+        ratio_true=ratio_true,
+        sampling_hz=float(sampling_hz),
+    )

@@ -1,0 +1,143 @@
+"""Fetal blood-oxygen-saturation trajectories and the optical calibration
+model linking SaO2 to the two-wavelength modulation ratio.
+
+The in-vivo studies the paper uses ([2, 18]) induce controlled hypoxia
+episodes in pregnant ewes while drawing fetal blood samples.  Our simulated
+trajectories reproduce that protocol: a baseline saturation with episodes
+of desaturation and recovery, plus slow physiological wander.
+
+The calibration model is the paper's Eq. 10: ``1 / (Y + k) = w0 + w1 R``
+with ``k = 1.885``; :func:`ratio_from_sao2` inverts it to drive the PPG
+simulator with a known ground-truth R(t).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.seeding import as_generator
+from repro.utils.validation import check_in_range, check_positive
+
+#: Regularising constant of Eq. 10.
+CALIBRATION_K = 1.885
+
+#: "True" calibration weights used by the simulator (Eq. 10 solved for R).
+#: Chosen so physiological fetal saturations (20-80 %) map to modulation
+#: ratios in the classic pulse-oximetry range (~0.5-1.5).
+TRUE_W0 = 0.30
+TRUE_W1 = 0.12
+
+
+def ratio_from_sao2(sao2: np.ndarray, w0: float = TRUE_W0,
+                    w1: float = TRUE_W1, k: float = CALIBRATION_K) -> np.ndarray:
+    """Ground-truth modulation ratio R for a saturation (fraction in [0,1])."""
+    sao2 = np.asarray(sao2, dtype=np.float64)
+    if np.any((sao2 < 0) | (sao2 > 1)):
+        raise ConfigurationError("sao2 must be a fraction in [0, 1]")
+    return (1.0 / (sao2 + k) - w0) / w1
+
+
+def sao2_from_ratio(ratio: np.ndarray, w0: float = TRUE_W0,
+                    w1: float = TRUE_W1, k: float = CALIBRATION_K) -> np.ndarray:
+    """Invert :func:`ratio_from_sao2` (Eq. 10 rearranged for Y)."""
+    ratio = np.asarray(ratio, dtype=np.float64)
+    return 1.0 / (w0 + w1 * ratio) - k
+
+
+@dataclass(frozen=True)
+class HypoxiaProfile:
+    """Shape of one simulated ewe's fetal-saturation trajectory.
+
+    ``episodes`` lists ``(start_fraction, duration_fraction, depth)`` —
+    desaturation events positioned as fractions of the recording with
+    ``depth`` subtracted at the trough.
+    """
+
+    baseline: float
+    episodes: Tuple[Tuple[float, float, float], ...]
+    wander_std: float = 0.015
+    wander_period_s: float = 300.0
+
+
+#: Two distinct ewes mirroring the two in-vivo subjects of Fig. 6.
+SHEEP_PROFILES = {
+    "sheep1": HypoxiaProfile(
+        baseline=0.62,
+        episodes=((0.15, 0.25, 0.28), (0.60, 0.20, 0.20)),
+    ),
+    "sheep2": HypoxiaProfile(
+        baseline=0.55,
+        episodes=((0.25, 0.30, 0.30), (0.70, 0.18, 0.15)),
+    ),
+}
+
+
+def sao2_trajectory(
+    profile: HypoxiaProfile,
+    duration_s: float,
+    sampling_hz: float,
+    rng=None,
+) -> np.ndarray:
+    """Per-sample fetal SaO2 (fraction) for a hypoxia protocol.
+
+    Episodes are raised-cosine desaturations; a slow sinusoid-plus-noise
+    wander keeps the trace physiological between episodes.
+    """
+    check_positive(duration_s, "duration_s")
+    check_positive(sampling_hz, "sampling_hz")
+    check_in_range(profile.baseline, 0.1, 0.95, "baseline")
+    rng = as_generator(rng)
+    n = int(round(duration_s * sampling_hz))
+    t = np.arange(n) / sampling_hz
+    sao2 = np.full(n, profile.baseline)
+    for start_frac, dur_frac, depth in profile.episodes:
+        start = start_frac * duration_s
+        dur = max(dur_frac * duration_s, 1.0 / sampling_hz)
+        x = (t - start) / dur
+        inside = (x >= 0) & (x <= 1)
+        sao2[inside] -= depth * 0.5 * (1 - np.cos(2 * np.pi * x[inside]))
+    # Slow wander.
+    phase = rng.uniform(0, 2 * np.pi)
+    sao2 += profile.wander_std * np.sin(
+        2 * np.pi * t / profile.wander_period_s + phase
+    )
+    sao2 += profile.wander_std * 0.5 * rng.standard_normal() * np.sin(
+        2 * np.pi * t / (profile.wander_period_s * 2.7) + rng.uniform(0, 2 * np.pi)
+    )
+    return np.clip(sao2, 0.05, 0.98)
+
+
+def blood_draw_times(duration_s: float, spacings_min=(2.5, 5.0, 10.0),
+                     start_s: float = 60.0,
+                     protocol_duration_s: float = 2400.0) -> np.ndarray:
+    """Blood-draw schedule cycling through the paper's 2.5/5/10-minute gaps.
+
+    At the paper's 40-minute protocol length the schedule is literal:
+    settle for ``start_s``, then draws spaced 2.5, 5, 10, 2.5, ... minutes,
+    stopping one half-averaging-window (75 s) before the end.  Shorter
+    recordings compress the whole protocol proportionally so experiments at
+    reduced durations keep a comparable number of draws (at least 20 s
+    apart).
+    """
+    check_positive(duration_s, "duration_s")
+    scale = min(1.0, duration_s / protocol_duration_s)
+    spacings_s = [max(s * 60.0 * scale, 20.0) for s in spacings_min]
+    start = start_s * scale
+    margin = 75.0 * scale
+    times = []
+    t = start
+    i = 0
+    while t <= duration_s - margin:
+        times.append(t)
+        t += spacings_s[i % len(spacings_s)]
+        i += 1
+    if len(times) < 3:
+        raise ConfigurationError(
+            f"recording of {duration_s}s too short for a calibratable "
+            f"blood-draw schedule (got {len(times)} draws, need >= 3)"
+        )
+    return np.asarray(times)

@@ -1,0 +1,32 @@
+"""Shared utilities: validation, seeding, table rendering and logging."""
+
+from repro.utils.validation import (
+    as_1d_float_array,
+    as_2d_float_array,
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+)
+from repro.utils.seeding import as_generator, spawn_generators
+from repro.utils.tables import TextTable, format_float, render_kv_block
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "as_1d_float_array",
+    "as_2d_float_array",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_same_length",
+    "as_generator",
+    "spawn_generators",
+    "TextTable",
+    "format_float",
+    "render_kv_block",
+    "get_logger",
+]

@@ -1,0 +1,37 @@
+"""Lightweight logging facade.
+
+The library logs through the standard :mod:`logging` module under the
+``repro`` namespace.  By default nothing is printed (a ``NullHandler`` is
+installed); experiments opt in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger in the ``repro`` hierarchy.
+
+    ``get_logger("core.dhf")`` maps to the logger ``repro.core.dhf``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` root logger and return it."""
+    root = logging.getLogger(_ROOT_NAME)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for experiment and benchmark reports.
+
+The experiment harness prints the same rows the paper reports (Table 2,
+Fig. 5/6 series) as monospace tables; this module is the single formatting
+path so every benchmark output looks consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_float(value: float, sig: int = 3) -> str:
+    """Format a float compactly: fixed-point when sane, scientific otherwise.
+
+    Mirrors how the paper prints Table 2 (SDR in fixed point, MSE in
+    scientific notation).
+    """
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0.0"
+    mag = abs(value)
+    if 1e-3 <= mag < 1e4:
+        return f"{value:.{sig}g}"
+    return f"{value:.1e}"
+
+
+class TextTable:
+    """Accumulate rows and render an aligned monospace table.
+
+    Example
+    -------
+    >>> t = TextTable(["method", "SDR(dB)"])
+    >>> t.add_row(["DHF", 20.88])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        if not headers:
+            raise ConfigurationError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; floats are formatted with :func:`format_float`."""
+        row = [
+            format_float(c) if isinstance(c, float) else str(c) for c in cells
+        ]
+        if len(row) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def add_rule(self) -> None:
+        """Append a horizontal rule row (rendered as dashes)."""
+        self.rows.append(["---RULE---"])
+
+    def render(self) -> str:
+        """Render the full table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            if row == ["---RULE---"]:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append(rule)
+        for row in self.rows:
+            lines.append(rule if row == ["---RULE---"] else fmt_row(row))
+        return "\n".join(lines)
+
+
+def render_kv_block(title: str, pairs: Sequence[tuple]) -> str:
+    """Render ``key: value`` lines under a title, used for experiment configs."""
+    width = max((len(str(k)) for k, _ in pairs), default=0)
+    lines = [title]
+    for key, value in pairs:
+        val = format_float(value) if isinstance(value, float) else str(value)
+        lines.append(f"  {str(key).ljust(width)} : {val}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Tests for the pattern aligner (paper Eqs. 3–7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.alignment import (
+    rewarp,
+    unrolled_phase,
+    unwarp,
+    warp_all_f0_tracks,
+    warp_f0_track,
+)
+from repro.errors import DataError
+
+
+def chirp_signal(fs=100.0, duration=30.0, f0=1.0, f1=2.0):
+    """A source whose fundamental sweeps linearly from f0 to f1."""
+    n = int(duration * fs)
+    t = np.arange(n) / fs
+    freq = f0 + (f1 - f0) * t / duration
+    phase = 2 * np.pi * np.cumsum(freq) / fs
+    return np.sin(phase), freq
+
+
+class TestUnrolledPhase:
+    def test_constant_frequency(self):
+        phase = unrolled_phase(np.full(100, 2.0), 100.0)
+        assert phase[0] == 0.0
+        # 2 Hz at 100 Hz sampling: 2*pi*2/100 per step.
+        assert np.isclose(phase[1], 2 * np.pi * 0.02)
+        assert np.isclose(phase[-1], 2 * np.pi * 2.0 * 0.99)
+
+    def test_monotone(self, rng):
+        f0 = 1.0 + rng.random(500)
+        phase = unrolled_phase(f0, 100.0)
+        assert np.all(np.diff(phase) > 0)
+
+    def test_nonpositive_f0_raises(self):
+        with pytest.raises(DataError):
+            unrolled_phase(np.array([1.0, 0.0]), 100.0)
+
+
+class TestUnwarp:
+    def test_constant_f0_is_resampling(self):
+        # With constant 1 Hz fundamental and spp = fs, unwarp ~ identity.
+        fs = 32.0
+        n = 320
+        x = np.sin(2 * np.pi * np.arange(n) / fs)
+        alignment = unwarp(x, fs, np.ones(n), 32)
+        assert abs(alignment.n_samples - n) <= 32
+        assert np.abs(alignment.samples[:n - 32] - x[:n - 32]).max() < 1e-6
+
+    def test_chirp_becomes_periodic(self):
+        x, freq = chirp_signal()
+        alignment = unwarp(x, 100.0, freq, 32)
+        # In the aligned space the signal is exactly 32-periodic.
+        s = alignment.samples
+        n_periods = s.size // 32
+        folded = s[: n_periods * 32].reshape(n_periods, 32)
+        deviation = folded.std(axis=0).max()
+        assert deviation < 0.05
+
+    def test_n_periods_property(self):
+        x, freq = chirp_signal(duration=20.0, f0=1.0, f1=1.0)
+        alignment = unwarp(x, 100.0, freq, 16)
+        assert abs(alignment.n_periods - 20.0) < 0.5
+
+    def test_roundtrip_error_small(self):
+        x, freq = chirp_signal()
+        alignment = unwarp(x, 100.0, freq, 64)
+        restored = rewarp(alignment.samples, alignment)
+        err = np.mean((restored - x) ** 2) / np.mean(x ** 2)
+        assert err < 1e-3
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.6, max_value=1.4),
+           st.floats(min_value=1.6, max_value=2.4))
+    def test_roundtrip_property(self, f0, f1):
+        x, freq = chirp_signal(duration=20.0, f0=f0, f1=f1)
+        alignment = unwarp(x, 100.0, freq, 48)
+        restored = rewarp(alignment.samples, alignment)
+        err = np.mean((restored - x) ** 2) / np.mean(x ** 2)
+        assert err < 5e-3
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataError):
+            unwarp(np.ones(10), 100.0, np.full(10, 0.1), 32)
+
+    def test_track_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            unwarp(np.ones(100), 100.0, np.ones(50), 16)
+
+    def test_rewarp_length_check(self):
+        x, freq = chirp_signal(duration=10.0)
+        alignment = unwarp(x, 100.0, freq, 32)
+        with pytest.raises(DataError):
+            rewarp(np.ones(alignment.n_samples + 5), alignment)
+
+
+class TestWarpTracks:
+    def test_target_becomes_unity(self):
+        x, freq = chirp_signal()
+        alignment = unwarp(x, 100.0, freq, 32)
+        tracks = warp_all_f0_tracks({"t": freq}, "t", alignment)
+        assert np.allclose(tracks["t"], 1.0)
+
+    def test_other_source_ratio(self):
+        x, freq = chirp_signal(duration=20.0, f0=2.0, f1=2.0)
+        alignment = unwarp(x, 100.0, freq, 32)
+        other = np.full(x.size, 3.0)
+        warped = warp_f0_track(other, alignment)
+        # Other source at 3 Hz vs target at 2 Hz -> 1.5 in aligned space.
+        inner = slice(10, -10)
+        assert np.abs(warped[inner] - 1.5).max() < 0.05
+
+    def test_varying_ratio(self):
+        x, freq = chirp_signal(duration=30.0, f0=1.0, f1=2.0)
+        alignment = unwarp(x, 100.0, freq, 32)
+        other = np.full(x.size, 2.0)
+        warped = warp_f0_track(other, alignment)
+        # Ratio falls from ~2 to ~1 as the target speeds up.
+        assert warped[5] > 1.7
+        assert warped[-5] < 1.2

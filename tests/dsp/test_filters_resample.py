@@ -1,0 +1,206 @@
+"""Tests for filters, resampling, analytic signal and spectra."""
+
+import numpy as np
+import pytest
+import scipy.signal as sps
+
+from repro.dsp import (
+    analytic_signal,
+    autocorrelation,
+    bandpass_filter,
+    beat_spectrum,
+    butterworth_lowpass_sos,
+    convolve_same,
+    decimate,
+    design_bandpass,
+    design_highpass,
+    design_lowpass,
+    dominant_period,
+    envelope,
+    filter_zerophase,
+    fir_frequency_response,
+    instantaneous_frequency,
+    periodogram,
+    resample_to_grid,
+    resample_to_rate,
+    sosfilt,
+    sosfiltfilt,
+    time_axis,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFirDesign:
+    def test_lowpass_dc_gain_unity(self):
+        taps = design_lowpass(101, 10.0, 100.0)
+        assert np.isclose(taps.sum(), 1.0)
+
+    def test_lowpass_attenuates_stopband(self):
+        taps = design_lowpass(201, 10.0, 100.0)
+        freqs, mag = fir_frequency_response(taps, 100.0)
+        stop = mag[freqs > 20]
+        assert stop.max() < 0.01
+
+    def test_highpass_blocks_dc(self):
+        taps = design_highpass(101, 10.0, 100.0)
+        assert abs(taps.sum()) < 1e-10
+
+    def test_bandpass_passes_center(self):
+        taps = design_bandpass(201, 5.0, 15.0, 100.0)
+        freqs, mag = fir_frequency_response(taps, 100.0)
+        centre = mag[np.argmin(np.abs(freqs - 10.0))]
+        assert centre > 0.95
+
+    def test_bandpass_zero_low_edge_is_lowpass(self):
+        a = design_bandpass(101, 0.0, 12.0, 100.0)
+        b = design_lowpass(101, 12.0, 100.0)
+        assert np.allclose(a, b)
+
+    def test_even_numtaps_raises(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(100, 10.0, 100.0)
+
+    def test_bad_band_raises(self):
+        with pytest.raises(ConfigurationError):
+            design_bandpass(101, 12.0, 5.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            design_bandpass(101, 5.0, 60.0, 100.0)
+
+
+class TestFiltering:
+    def test_convolve_same_matches_numpy(self, rng):
+        x = rng.standard_normal(200)
+        h = rng.standard_normal(21)
+        assert np.allclose(
+            convolve_same(x, h), np.convolve(x, h, mode="same"), atol=1e-10
+        )
+
+    def test_zerophase_no_delay(self):
+        fs = 100.0
+        t = np.arange(1000) / fs
+        x = np.sin(2 * np.pi * 3.0 * t)
+        taps = design_lowpass(101, 10.0, fs)
+        y = filter_zerophase(x, taps)
+        # Cross-correlation peak at zero lag = no group delay.
+        inner = slice(150, 850)
+        lag = np.argmax(np.correlate(y[inner], x[inner], "full")) - (
+            x[inner].size - 1
+        )
+        assert lag == 0
+
+    def test_bandpass_filter_separates_tones(self):
+        fs = 100.0
+        t = np.arange(3000) / fs
+        keep = np.sin(2 * np.pi * 5.0 * t)
+        kill = np.sin(2 * np.pi * 30.0 * t)
+        y = bandpass_filter(keep + kill, fs, 0.0, 12.0)
+        assert np.std(y[200:-200] - keep[200:-200]) < 0.05
+
+
+class TestButterworth:
+    def test_matches_scipy_response(self):
+        for order in (2, 3, 4, 5):
+            mine = butterworth_lowpass_sos(order, 10.0, 100.0)
+            ref = sps.butter(order, 10.0, fs=100.0, output="sos")
+            w, h1 = sps.sosfreqz(mine, fs=100.0)
+            _, h2 = sps.sosfreqz(ref, fs=100.0)
+            assert np.abs(np.abs(h1) - np.abs(h2)).max() < 1e-8, order
+
+    def test_sosfilt_matches_scipy(self, rng):
+        sos = butterworth_lowpass_sos(4, 8.0, 100.0)
+        x = rng.standard_normal(500)
+        assert np.allclose(sosfilt(sos, x), sps.sosfilt(sos, x), atol=1e-10)
+
+    def test_sosfiltfilt_zero_phase(self):
+        fs = 100.0
+        t = np.arange(1000) / fs
+        x = np.sin(2 * np.pi * 2.0 * t)
+        sos = butterworth_lowpass_sos(4, 10.0, fs)
+        y = sosfiltfilt(sos, x)
+        assert np.abs(y[300:700] - x[300:700]).max() < 0.01
+
+    def test_bad_cutoff_raises(self):
+        with pytest.raises(ConfigurationError):
+            butterworth_lowpass_sos(4, 60.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            butterworth_lowpass_sos(0, 10.0, 100.0)
+
+
+class TestResample:
+    def test_time_axis(self):
+        t = time_axis(5, 10.0)
+        assert np.allclose(t, [0, 0.1, 0.2, 0.3, 0.4])
+
+    def test_resample_to_rate_preserves_sine(self):
+        fs_in, fs_out = 100.0, 250.0
+        t_in = time_axis(500, fs_in)
+        x = np.sin(2 * np.pi * 2.0 * t_in)
+        y = resample_to_rate(x, fs_in, fs_out, kind="pchip")
+        t_out = time_axis(y.size, fs_out)
+        assert np.abs(y - np.sin(2 * np.pi * 2.0 * t_out)).max() < 0.01
+
+    def test_resample_to_grid(self):
+        t = np.array([0.0, 1.0, 2.0])
+        x = np.array([0.0, 2.0, 4.0])
+        out = resample_to_grid(t, x, [0.5, 1.5])
+        assert np.allclose(out, [1.0, 3.0])
+
+    def test_decimate(self):
+        assert np.allclose(decimate(np.arange(10.0), 3), [0, 3, 6, 9])
+        with pytest.raises(ConfigurationError):
+            decimate(np.arange(4.0), 0)
+
+
+class TestAnalytic:
+    def test_envelope_of_am_tone(self):
+        fs = 1000.0
+        t = np.arange(4000) / fs
+        am = 1.0 + 0.5 * np.sin(2 * np.pi * 2.0 * t)
+        x = am * np.sin(2 * np.pi * 50.0 * t)
+        env = envelope(x)
+        inner = slice(500, 3500)
+        assert np.abs(env[inner] - am[inner]).max() < 0.05
+
+    def test_analytic_signal_real_part_is_input(self, rng):
+        x = rng.standard_normal(512)
+        assert np.allclose(analytic_signal(x).real, x, atol=1e-10)
+
+    def test_instantaneous_frequency_of_tone(self):
+        fs = 1000.0
+        t = np.arange(4000) / fs
+        x = np.sin(2 * np.pi * 37.0 * t)
+        freq = instantaneous_frequency(x, fs)
+        assert abs(np.median(freq[500:-500]) - 37.0) < 0.5
+
+
+class TestSpectrum:
+    def test_periodogram_peak(self):
+        fs = 100.0
+        t = np.arange(4096) / fs
+        freqs, power = periodogram(np.sin(2 * np.pi * 7.0 * t), fs)
+        assert abs(freqs[np.argmax(power)] - 7.0) < 0.1
+
+    def test_autocorrelation_lag0_one(self, rng):
+        acf = autocorrelation(rng.standard_normal(256), max_lag=50)
+        assert np.isclose(acf[0], 1.0)
+
+    def test_autocorrelation_periodic_peak(self):
+        x = np.sin(2 * np.pi * np.arange(600) / 50)
+        acf = autocorrelation(x, max_lag=120)
+        assert abs(int(np.argmax(acf[25:80])) + 25 - 50) <= 1
+
+    def test_autocorrelation_bad_lag_raises(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation(np.ones(10), max_lag=10)
+
+    def test_beat_spectrum_detects_period(self):
+        # Spectrogram with repeating pattern every 7 frames.
+        rng = np.random.default_rng(0)
+        pattern = rng.random((32, 7))
+        mag = np.tile(pattern, (1, 10))
+        beat = beat_spectrum(mag)
+        assert dominant_period(beat, 3, 20) == 7
+
+    def test_dominant_period_empty_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            dominant_period(np.ones(10), 8, 3)

@@ -1,0 +1,134 @@
+"""Tests for windows and the STFT/ISTFT pair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import (
+    StftResult,
+    check_cola,
+    cola_sum,
+    get_window,
+    hann,
+    istft,
+    spectrogram_db,
+    stft,
+    window_names,
+)
+from repro.errors import ConfigurationError, DataError, ShapeError
+
+
+class TestWindows:
+    def test_registry(self):
+        assert {"hann", "hamming", "blackman", "rectangular"} <= set(window_names())
+
+    def test_unknown_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_window("kaiser", 64)
+
+    def test_hann_endpoints_periodic(self):
+        w = hann(8)
+        assert w[0] == 0.0
+        assert w.size == 8
+
+    @pytest.mark.parametrize("name", ["hann", "hamming", "blackman"])
+    def test_windows_bounded(self, name):
+        w = get_window(name, 128)
+        assert np.all(w >= -1e-12) and np.all(w <= 1.0 + 1e-12)
+
+    def test_cola_hann_quarter_hop(self):
+        assert check_cola(hann(256), 64)
+
+    def test_cola_fails_bad_hop(self):
+        assert not check_cola(hann(256), 100)
+
+    def test_cola_sum_shape(self):
+        assert cola_sum(hann(64), 16).shape == (16,)
+
+    def test_cola_hop_too_large_raises(self):
+        with pytest.raises(ConfigurationError):
+            cola_sum(hann(16), 32)
+
+
+class TestStft:
+    def test_roundtrip_exact(self, rng):
+        x = rng.standard_normal(4000)
+        rec = istft(stft(x, 100.0, n_fft=256, hop=64))
+        assert np.abs(rec - x).max() < 1e-10
+
+    def test_roundtrip_nonstandard_hop(self, rng):
+        x = rng.standard_normal(3000)
+        rec = istft(stft(x, 100.0, n_fft=200, hop=50))
+        assert np.abs(rec - x).max() < 1e-10
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=300, max_value=2000),
+           st.sampled_from([64, 128, 256]))
+    def test_roundtrip_property(self, n, n_fft):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        rec = istft(stft(x, 50.0, n_fft=n_fft, hop=n_fft // 4))
+        assert np.abs(rec - x).max() < 1e-8
+
+    def test_geometry(self):
+        spec = stft(np.zeros(1000), 100.0, n_fft=128, hop=32)
+        assert spec.n_freq == 65
+        assert np.isclose(spec.freq_resolution(), 100.0 / 128)
+        assert spec.freqs()[-1] == 50.0
+        assert spec.times()[0] == 0.0
+
+    def test_pure_tone_peak_bin(self):
+        fs, f0 = 100.0, 10.0
+        t = np.arange(2000) / fs
+        spec = stft(np.sin(2 * np.pi * f0 * t), fs, n_fft=200, hop=50)
+        peak_bins = np.argmax(spec.magnitude, axis=0)
+        expected = int(f0 / spec.freq_resolution())
+        inner = peak_bins[2:-2]  # edges have partial windows
+        assert np.all(inner == expected)
+
+    def test_with_values_shape_check(self):
+        spec = stft(np.zeros(500), 100.0, n_fft=64)
+        with pytest.raises(ShapeError):
+            spec.with_values(np.zeros((3, 3)))
+
+    def test_istft_length_override(self, rng):
+        x = rng.standard_normal(700)
+        spec = stft(x, 100.0, n_fft=128, hop=32)
+        assert istft(spec, length=500).size == 500
+        assert istft(spec, length=900).size == 900
+
+    def test_hop_larger_than_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            stft(np.zeros(500), 100.0, n_fft=64, hop=128)
+
+    def test_empty_signal_raises(self):
+        with pytest.raises(DataError):
+            stft([], 100.0, n_fft=64)
+
+    def test_linear_in_amplitude(self, rng):
+        x = rng.standard_normal(1000)
+        a = stft(x, 100.0, n_fft=128).magnitude
+        b = stft(3 * x, 100.0, n_fft=128).magnitude
+        assert np.allclose(b, 3 * a, atol=1e-9)
+
+    def test_copy_is_independent(self, rng):
+        spec = stft(rng.standard_normal(500), 100.0, n_fft=64)
+        c = spec.copy()
+        c.values[:] = 0
+        assert not np.allclose(spec.values, 0)
+
+
+class TestSpectrogramDb:
+    def test_peak_is_zero_db(self, rng):
+        mag = np.abs(rng.standard_normal((16, 8)))
+        db = spectrogram_db(mag)
+        assert np.isclose(db.max(), 0.0)
+
+    def test_floor_applied(self):
+        mag = np.array([[1.0, 0.0]])
+        db = spectrogram_db(mag, floor_db=-60.0)
+        assert db.min() == -60.0
+
+    def test_all_zero(self):
+        db = spectrogram_db(np.zeros((4, 4)))
+        assert np.all(db == -120.0)

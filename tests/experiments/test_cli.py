@@ -1,0 +1,38 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import RUNNERS, build_parser, main
+
+
+def test_parser_artefacts_complete():
+    parser = build_parser()
+    args = parser.parse_args(["table1", "--preset", "smoke"])
+    assert args.artefact == "table1"
+    assert args.preset == "smoke"
+
+
+def test_all_paper_artefacts_registered():
+    expected = {"table1", "table2", "figure3", "figure4", "figure5",
+                "figure6", "figure7"}
+    assert expected <= set(RUNNERS)
+
+
+def test_unknown_artefact_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure99"])
+
+
+def test_main_runs_table1(capsys, tmp_path):
+    out_file = tmp_path / "t1.txt"
+    code = main(["table1", "--preset", "smoke", "--seed", "1",
+                 "--output", str(out_file)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Table 1" in captured
+    assert out_file.read_text().strip()
+
+
+def test_main_runs_figure4(capsys):
+    assert main(["figure4", "--preset", "smoke"]) == 0
+    assert "Fig. 4" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for fundamental-frequency salience and tracking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.freq import (
+    FundamentalTracker,
+    compute_salience,
+    suppress_track,
+    track_to_samples,
+    viterbi_track,
+)
+
+
+@pytest.fixture
+def tone_pair():
+    fs = 100.0
+    n = 4000
+    t = np.arange(n) / fs
+    a = np.sin(2 * np.pi * 1.2 * t)
+    b = 0.6 * np.sin(2 * np.pi * 2.7 * t)
+    return a + b, fs
+
+
+class TestSalience:
+    def test_peak_at_fundamental(self, tone_pair):
+        mix, fs = tone_pair
+        sal = compute_salience(mix, fs, 0.5, 3.5, n_candidates=100)
+        best = sal.best_per_frame()
+        assert abs(np.median(best) - 1.2) < 0.15
+
+    def test_shapes(self, tone_pair):
+        mix, fs = tone_pair
+        sal = compute_salience(mix, fs, 0.5, 3.0, n_candidates=50)
+        assert sal.values.shape == (50, sal.n_frames)
+        assert sal.f0_grid.size == 50
+
+    def test_bad_range_raises(self, tone_pair):
+        mix, fs = tone_pair
+        with pytest.raises(ConfigurationError):
+            compute_salience(mix, fs, 2.0, 1.0)
+
+
+class TestViterbi:
+    def test_smooth_track(self, tone_pair):
+        mix, fs = tone_pair
+        sal = compute_salience(mix, fs, 0.5, 3.5, n_candidates=120)
+        track = viterbi_track(sal)
+        assert np.abs(track - 1.2).max() < 0.2
+        # Viterbi enforces continuity: no huge jumps.
+        assert np.abs(np.diff(track)).max() < 0.3
+
+    def test_bad_sigma_raises(self, tone_pair):
+        mix, fs = tone_pair
+        sal = compute_salience(mix, fs, 0.5, 3.0)
+        with pytest.raises(ConfigurationError):
+            viterbi_track(sal, transition_sigma_hz=0.0)
+
+
+class TestTrackToSamples:
+    def test_interpolates(self):
+        frames = np.array([1.0, 2.0])
+        times = np.array([0.0, 1.0])
+        samples = track_to_samples(frames, times, 100, 100.0)
+        assert samples.size == 100
+        assert samples[0] == 1.0
+        assert abs(samples[50] - 1.5) < 0.02
+
+
+class TestMultiSource:
+    def test_two_sources_tracked(self, tone_pair):
+        mix, fs = tone_pair
+        tracker = FundamentalTracker(f_min=0.6, f_max=3.4, window_s=6.0)
+        sources = tracker.track(mix, fs, n_sources=2)
+        assert len(sources) == 2
+        means = sorted(float(np.mean(s.f0_samples)) for s in sources)
+        assert abs(means[0] - 1.2) < 0.25
+        assert abs(means[1] - 2.7) < 0.35
+
+    def test_suppression_removes_neighbourhood(self, tone_pair):
+        mix, fs = tone_pair
+        sal = compute_salience(mix, fs, 0.5, 3.5, n_candidates=120)
+        track = viterbi_track(sal)
+        suppressed = suppress_track(sal, track, width_hz=0.15)
+        near = np.abs(sal.f0_grid[:, None] - track[None, :]) <= 0.1
+        assert np.all(suppressed.values[near] == 0.0)
+
+    def test_bad_n_sources_raises(self, tone_pair):
+        mix, fs = tone_pair
+        with pytest.raises(ConfigurationError):
+            FundamentalTracker().track(mix, fs, n_sources=0)
+
+    def test_quasiperiodic_source_tracked(self):
+        from repro.synth import generate_random_source
+
+        sig = generate_random_source(
+            "ppg_pulse", 40.0, 1.0, 1.6, 0.5, 0.05, 100.0, rng=3,
+        )
+        tracker = FundamentalTracker(f_min=0.7, f_max=2.0, window_s=8.0)
+        tracked = tracker.track(sig.samples, 100.0, n_sources=1)[0]
+        err = np.mean(np.abs(tracked.f0_samples - sig.f0_track))
+        assert err < 0.12

@@ -1,0 +1,48 @@
+"""Tests for model state saving/loading."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn import Linear, Sequential, load_state, save_state
+
+
+def make_net(seed):
+    return Sequential(Linear(3, 4, rng=seed), Linear(4, 2, rng=seed + 1))
+
+
+def test_save_load_roundtrip(tmp_path):
+    net = make_net(0)
+    path = str(tmp_path / "model.npz")
+    save_state(net, path)
+    other = make_net(99)
+    load_state(other, path)
+    for (_, a), (_, b) in zip(net.named_parameters(),
+                              other.named_parameters()):
+        assert np.allclose(a.data, b.data)
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(SerializationError):
+        load_state(make_net(0), str(tmp_path / "missing.npz"))
+
+
+def test_load_non_archive_raises(tmp_path):
+    path = tmp_path / "junk.npz"
+    np.savez(path, foo=np.zeros(3))
+    with pytest.raises(SerializationError):
+        load_state(make_net(0), str(path))
+
+
+def test_load_wrong_architecture_raises(tmp_path):
+    path = str(tmp_path / "model.npz")
+    save_state(make_net(0), path)
+    wrong = Sequential(Linear(3, 4, rng=0))
+    with pytest.raises(SerializationError):
+        load_state(wrong, path)
+
+
+def test_creates_directories(tmp_path):
+    path = str(tmp_path / "deep" / "dir" / "model.npz")
+    save_state(make_net(0), path)
+    load_state(make_net(1), path)

@@ -1,0 +1,270 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import GraphError, ShapeError
+from repro.nn import Tensor, astensor, concatenate, no_grad, stack, where
+from repro.nn.gradcheck import check_gradients
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=4),
+    elements=st.floats(min_value=-3, max_value=3, allow_nan=False),
+)
+
+
+def tensor_of(data, requires_grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestBasics:
+    def test_construction_coerces_float(self):
+        t = Tensor([1, 2, 3])
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_detach_leaves_graph(self):
+        t = tensor_of([1.0])
+        d = (t * 2).detach()
+        assert d.is_leaf and not d.requires_grad
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(ShapeError):
+            tensor_of([1.0, 2.0]).item()
+        assert tensor_of([3.0]).item() == 3.0
+
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0])
+        with pytest.raises(GraphError):
+            t.backward()
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        t = tensor_of([1.0, 2.0])
+        out = t * 2
+        with pytest.raises(GraphError):
+            out.backward()
+
+    def test_backward_grad_shape_checked(self):
+        t = tensor_of([1.0, 2.0])
+        out = t * 2
+        with pytest.raises(ShapeError):
+            out.backward(np.ones(3))
+
+    def test_no_grad_blocks_graph(self):
+        t = tensor_of([1.0])
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_grad_accumulates(self):
+        t = tensor_of([2.0])
+        (t * 3).sum().backward()
+        (t * 3).sum().backward()
+        assert np.allclose(t.grad, [6.0])
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a, b = tensor_of([1.0, 2.0]), tensor_of([3.0, 4.0])
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1, 1])
+        assert np.allclose(b.grad, [1, 1])
+
+    def test_broadcast_add_unbroadcasts_grad(self):
+        a = tensor_of(np.ones((2, 3)))
+        b = tensor_of(np.ones(3))
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert np.allclose(b.grad, [2, 2, 2])
+
+    def test_scalar_broadcast(self):
+        a = tensor_of(np.ones((2, 2)))
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+
+    def test_mul_backward(self):
+        a, b = tensor_of([2.0]), tensor_of([5.0])
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0]) and np.allclose(b.grad, [2.0])
+
+    def test_div_backward(self):
+        a, b = tensor_of([6.0]), tensor_of([2.0])
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.5])
+
+    def test_rsub_rdiv(self):
+        a = tensor_of([2.0])
+        assert np.allclose((3.0 - a).data, [1.0])
+        assert np.allclose((8.0 / a).data, [4.0])
+
+    def test_pow_backward(self):
+        a = tensor_of([3.0])
+        (a ** 2).sum().backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            tensor_of([1.0]) ** tensor_of([2.0])
+
+    def test_matmul_2d(self):
+        a = tensor_of(np.arange(6, dtype=float).reshape(2, 3))
+        b = tensor_of(np.arange(12, dtype=float).reshape(3, 4))
+        out = a @ b
+        assert out.shape == (2, 4)
+        ok, err = check_gradients(lambda: (a @ b).sum(), [a, b])
+        assert ok, err
+
+    def test_matmul_batched(self):
+        a = tensor_of(np.random.default_rng(0).random((2, 3, 4)))
+        b = tensor_of(np.random.default_rng(1).random((2, 4, 5)))
+        ok, err = check_gradients(lambda: (a @ b).sum(), [a, b])
+        assert ok, err
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_gradcheck(self, op):
+        rng = np.random.default_rng(3)
+        # Keep away from relu/abs kinks for a clean numerical comparison.
+        data = rng.uniform(0.2, 1.5, size=(3, 4)) * np.where(
+            rng.random((3, 4)) > 0.5, 1, -1
+        )
+        t = tensor_of(data)
+        ok, err = check_gradients(lambda: getattr(t, op)().sum(), [t])
+        assert ok, f"{op}: {err}"
+
+    def test_log_sqrt_gradcheck(self):
+        t = tensor_of(np.random.default_rng(0).uniform(0.5, 2.0, (3, 3)))
+        ok, err = check_gradients(lambda: t.log().sum(), [t])
+        assert ok, err
+        ok, err = check_gradients(lambda: t.sqrt().sum(), [t])
+        assert ok, err
+
+    def test_leaky_relu_negative_slope(self):
+        t = tensor_of([-2.0, 2.0])
+        out = t.leaky_relu(0.1)
+        assert np.allclose(out.data, [-0.2, 2.0])
+        out.sum().backward()
+        assert np.allclose(t.grad, [0.1, 1.0])
+
+    def test_clip_min(self):
+        t = tensor_of([-1.0, 0.5])
+        out = t.clip_min(0.0)
+        assert np.allclose(out.data, [0.0, 0.5])
+        out.sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = tensor_of(np.ones((2, 3)))
+        assert t.sum(axis=0).shape == (3,)
+        assert t.sum(axis=0, keepdims=True).shape == (1, 3)
+
+    def test_sum_backward_axis(self):
+        t = tensor_of(np.random.default_rng(0).random((3, 4)))
+        ok, err = check_gradients(lambda: (t.sum(axis=1) ** 2).sum(), [t])
+        assert ok, err
+
+    def test_mean_matches_numpy(self):
+        data = np.random.default_rng(0).random((4, 5))
+        t = tensor_of(data)
+        assert np.allclose(t.mean(axis=1).data, data.mean(axis=1))
+
+    def test_max_backward_distributes(self):
+        t = tensor_of([1.0, 3.0, 3.0])
+        t.max().backward()
+        assert np.allclose(t.grad, [0.0, 0.5, 0.5])
+
+    def test_reshape_transpose_gradcheck(self):
+        t = tensor_of(np.random.default_rng(0).random((2, 6)))
+        ok, err = check_gradients(
+            lambda: (t.reshape(3, 4).transpose(1, 0) ** 2).sum(), [t]
+        )
+        assert ok, err
+
+    def test_getitem_scatter_grad(self):
+        t = tensor_of(np.arange(5, dtype=float))
+        out = t[1:4]
+        out.sum().backward()
+        assert np.allclose(t.grad, [0, 1, 1, 1, 0])
+
+    def test_pad_backward(self):
+        t = tensor_of(np.ones((2, 2)))
+        out = t.pad(((1, 1), (0, 2)))
+        assert out.shape == (4, 4)
+        out.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 2)))
+
+    def test_take_repeated_indices_scatter_adds(self):
+        t = tensor_of(np.arange(3, dtype=float))
+        out = t.take(np.array([0, 0, 2]), axis=0)
+        out.sum().backward()
+        assert np.allclose(t.grad, [2.0, 0.0, 1.0])
+
+    def test_take_out_of_range_raises(self):
+        t = tensor_of(np.arange(3, dtype=float))
+        with pytest.raises(ShapeError):
+            t.take(np.array([3]), axis=0)
+
+    def test_astype_roundtrip_grad(self):
+        t = tensor_of(np.ones(3))
+        out = t.astype(np.float32)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert t.grad.dtype == np.float64
+
+
+class TestCombinators:
+    def test_concatenate_backward(self):
+        a, b = tensor_of(np.ones((2, 2))), tensor_of(np.ones((3, 2)))
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1) and np.allclose(b.grad, 1)
+
+    def test_stack_backward(self):
+        a, b = tensor_of([1.0, 2.0]), tensor_of([3.0, 4.0])
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        (out * out).sum().backward()
+        assert np.allclose(a.grad, [2.0, 4.0])
+
+    def test_where_routes_gradients(self):
+        a, b = tensor_of([1.0, 1.0]), tensor_of([2.0, 2.0])
+        cond = np.array([True, False])
+        out = where(cond, a, b)
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_astensor_idempotent(self):
+        t = tensor_of([1.0])
+        assert astensor(t) is t
+
+
+class TestHypothesisGradients:
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays)
+    def test_sum_of_squares_gradient_is_2x(self, data):
+        t = Tensor(data, requires_grad=True)
+        (t * t).sum().backward()
+        assert np.allclose(t.grad, 2 * data, atol=1e-8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays)
+    def test_linearity_of_grad(self, data):
+        t = Tensor(data, requires_grad=True)
+        (t * 3.0 + 1.0).sum().backward()
+        assert np.allclose(t.grad, 3.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays)
+    def test_tanh_bounded_grad(self, data):
+        t = Tensor(data, requires_grad=True)
+        t.tanh().sum().backward()
+        assert np.all(t.grad <= 1.0 + 1e-12)
+        assert np.all(t.grad >= 0.0)

@@ -1,0 +1,104 @@
+"""Tests for the SpAc LU-Net and its Fig. 3 variants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import PRIOR_KINDS, SpAcLUNet, UNetConfig, build_prior_network
+
+
+@pytest.fixture
+def small_cfg():
+    return UNetConfig(in_channels=4, base_channels=4, depth=2,
+                      n_harmonics=2, kernel_time=3)
+
+
+class TestConfig:
+    def test_bad_conv_kind(self):
+        with pytest.raises(ConfigurationError):
+            UNetConfig(conv_kind="fancy")
+
+    def test_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            UNetConfig(depth=0)
+
+    def test_even_kernel(self):
+        with pytest.raises(ConfigurationError):
+            UNetConfig(kernel_time=4)
+
+
+class TestForward:
+    def test_output_shape_and_range(self, small_cfg, rng):
+        net = SpAcLUNet(small_cfg, rng=rng)
+        z = net.make_input_code(17, 12, rng=rng)
+        out = net(z)
+        assert out.shape == (1, 1, 17, 12)
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_frequency_size_preserved_odd(self, small_cfg, rng):
+        # Frequency pooling is prohibited: odd freq sizes must survive.
+        net = SpAcLUNet(small_cfg, rng=rng)
+        z = net.make_input_code(33, 16, rng=rng)
+        assert net(z).shape[2] == 33
+
+    def test_non_power_of_two_time(self, small_cfg, rng):
+        net = SpAcLUNet(small_cfg, rng=rng)
+        z = net.make_input_code(9, 13, rng=rng)
+        assert net(z).shape[3] == 13
+
+    def test_too_short_time_raises(self, small_cfg, rng):
+        net = SpAcLUNet(small_cfg, rng=rng)
+        with pytest.raises(ShapeError):
+            net.make_input_code(9, 2, rng=rng)
+
+    def test_wrong_channels_raises(self, small_cfg, rng):
+        net = SpAcLUNet(small_cfg, rng=rng)
+        from repro.nn import Tensor
+        with pytest.raises(ShapeError):
+            net(Tensor(np.zeros((1, 7, 8, 8), dtype=np.float32)))
+
+    def test_deterministic_given_seed(self, small_cfg):
+        a = SpAcLUNet(small_cfg, rng=5)
+        b = SpAcLUNet(small_cfg, rng=5)
+        za = a.make_input_code(9, 8, rng=1)
+        zb = b.make_input_code(9, 8, rng=1)
+        assert np.allclose(a(za).data, b(zb).data)
+
+    def test_freq_pooling_variant_runs(self, rng):
+        cfg = UNetConfig(in_channels=4, base_channels=4, depth=2,
+                         freq_pooling=True)
+        net = SpAcLUNet(cfg, rng=rng)
+        z = net.make_input_code(16, 12, rng=rng)
+        assert net(z).shape == (1, 1, 16, 12)
+
+    def test_gradients_flow_to_all_parameters(self, small_cfg, rng):
+        net = SpAcLUNet(small_cfg, rng=rng)
+        z = net.make_input_code(9, 8, rng=rng)
+        net(z).sum().backward()
+        for name, p in net.named_parameters():
+            assert p.grad is not None, f"no grad for {name}"
+
+
+class TestFactory:
+    def test_all_kinds_build_and_run(self, rng):
+        for kind in PRIOR_KINDS:
+            net = build_prior_network(
+                kind, rng=rng, base_channels=4, depth=2, time_dilation=3,
+            )
+            z = net.make_input_code(16, 12, rng=rng)
+            assert net(z).shape == (1, 1, 16, 12), kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_prior_network("magic")
+
+    def test_variant_properties(self, rng):
+        conventional = build_prior_network("conventional", rng=rng)
+        assert conventional.cfg.conv_kind == "standard"
+        baseline = build_prior_network("harmonic_baseline", rng=rng)
+        assert baseline.cfg.anchor == 2 and baseline.cfg.freq_pooling
+        spac = build_prior_network("spac", rng=rng)
+        assert spac.cfg.anchor == 1 and not spac.cfg.freq_pooling
+        dilated = build_prior_network("spac_dilated", rng=rng,
+                                      time_dilation=7)
+        assert dilated.cfg.time_dilation == 7

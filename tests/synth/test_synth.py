@@ -1,0 +1,217 @@
+"""Tests for the quasi-periodic generator, templates and Table 1 mixtures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, DataError
+from repro.synth import (
+    MSIG_SPECS,
+    baseline_drift,
+    generate_quasiperiodic,
+    generate_random_source,
+    get_mixture_spec,
+    get_template,
+    make_all_mixtures,
+    make_mixture,
+    mixture_names,
+    random_period_amplitudes,
+    random_period_durations,
+    template_harmonic_energy,
+    template_names,
+    white_noise,
+)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("name", ["ppg_pulse", "respiration", "sinusoid",
+                                      "sawtooth"])
+    def test_zero_mean_unit_peak(self, name):
+        phase = np.arange(2048) / 2048
+        values = get_template(name)(phase)
+        # Normalisation constants are fixed on a canonical 4096 grid, so a
+        # different sampling grid sees tiny residuals.
+        assert abs(values.mean()) < 1e-3
+        assert np.isclose(np.abs(values).max(), 1.0, atol=1e-2)
+
+    @pytest.mark.parametrize("name", ["ppg_pulse", "respiration"])
+    def test_periodic_continuity(self, name):
+        fn = get_template(name)
+        # Value just before the boundary matches just after (wrapping).
+        a = fn(np.array([0.9999]))
+        b = fn(np.array([0.0001]))
+        assert abs(a[0] - b[0]) < 0.02
+
+    def test_phase_wrapping(self):
+        fn = get_template("ppg_pulse")
+        assert np.allclose(fn(np.array([0.25])), fn(np.array([1.25])))
+
+    def test_unknown_template_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_template("square")
+
+    def test_registry(self):
+        assert {"ppg_pulse", "respiration", "sinusoid", "sawtooth"} <= \
+            set(template_names())
+
+    def test_ppg_harmonically_rich(self):
+        energy = template_harmonic_energy("ppg_pulse", n_harmonics=6)
+        assert energy[1] > 0.05  # real 2nd-harmonic content
+        assert np.isclose(energy.sum(), 1.0)
+
+    def test_sinusoid_single_harmonic(self):
+        energy = template_harmonic_energy("sinusoid", n_harmonics=6)
+        assert energy[0] > 0.999
+
+
+class TestRandomWalks:
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=1.5),
+           st.floats(min_value=0.1, max_value=1.0),
+           st.integers(min_value=0, max_value=10_000))
+    def test_durations_within_bounds(self, f_min, span, seed):
+        f_max = f_min + span
+        durations = random_period_durations(30.0, f_min, f_max, rng=seed)
+        freqs = 1.0 / durations
+        assert np.all(freqs >= f_min - 1e-9)
+        assert np.all(freqs <= f_max + 1e-9)
+        assert durations.sum() >= 30.0
+
+    def test_durations_cover_duration(self):
+        durations = random_period_durations(10.0, 1.0, 2.0, rng=1)
+        assert durations.sum() >= 10.0
+        assert durations.sum() - durations[-1] < 10.0  # minimal cover
+
+    def test_durations_bad_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            random_period_durations(10.0, 2.0, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200),
+           st.integers(min_value=0, max_value=10_000))
+    def test_amplitudes_positive(self, n, seed):
+        amps = random_period_amplitudes(n, 0.1, 0.05, rng=seed)
+        assert amps.shape == (n,)
+        assert np.all(amps > 0)
+
+    def test_amplitudes_mean_reasonable(self):
+        amps = random_period_amplitudes(2000, 0.5, 0.1, rng=3)
+        assert abs(amps.mean() - 0.5) < 0.1
+
+
+class TestGenerator:
+    def test_f0_track_matches_durations(self):
+        durations = np.array([0.5, 1.0, 0.25])
+        amps = np.ones(3)
+        sig = generate_quasiperiodic("sinusoid", durations, amps, 100.0)
+        # First 50 samples are the 2 Hz period.
+        assert np.allclose(sig.f0_track[:50], 2.0)
+        assert np.allclose(sig.f0_track[50:150], 1.0)
+        assert np.allclose(sig.f0_track[150:], 4.0)
+
+    def test_sinusoid_exact(self):
+        durations = np.full(10, 0.5)  # steady 2 Hz
+        sig = generate_quasiperiodic("sinusoid", durations, np.ones(10), 100.0)
+        t = np.arange(sig.samples.size) / 100.0
+        assert np.abs(sig.samples - np.sin(2 * np.pi * 2.0 * t)).max() < 1e-9
+
+    def test_amplitude_track_applied(self):
+        durations = np.array([1.0, 1.0])
+        amps = np.array([1.0, 3.0])
+        sig = generate_quasiperiodic("sinusoid", durations, amps, 100.0)
+        assert np.isclose(np.abs(sig.samples[:100]).max(), 1.0, atol=0.01)
+        assert np.isclose(np.abs(sig.samples[100:]).max(), 3.0, atol=0.05)
+
+    def test_duration_crop(self):
+        durations = np.full(20, 1.0)
+        sig = generate_quasiperiodic("sinusoid", durations, np.ones(20),
+                                     100.0, duration_s=5.0)
+        assert sig.samples.size == 500
+
+    def test_requesting_too_long_raises(self):
+        with pytest.raises(ConfigurationError):
+            generate_quasiperiodic("sinusoid", [1.0], [1.0], 100.0,
+                                   duration_s=5.0)
+
+    def test_mismatched_lists_raise(self):
+        with pytest.raises(ConfigurationError):
+            generate_quasiperiodic("sinusoid", [1.0, 1.0], [1.0], 100.0)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(DataError):
+            generate_quasiperiodic("sinusoid", [1.0, -1.0], [1.0, 1.0], 100.0)
+
+    def test_random_source_in_spec(self):
+        sig = generate_random_source("ppg_pulse", 20.0, 1.0, 2.0, 0.1, 0.02,
+                                     100.0, rng=7)
+        assert sig.samples.size == 2000
+        assert np.all(sig.f0_track >= 1.0 - 1e-9)
+        assert np.all(sig.f0_track <= 2.0 + 1e-9)
+
+
+class TestNoise:
+    def test_white_noise_stats(self):
+        noise = white_noise(20_000, 0.1, rng=1)
+        assert abs(noise.std() - 0.1) < 0.01
+        assert abs(noise.mean()) < 0.01
+
+    def test_zero_std(self):
+        assert np.all(white_noise(100, 0.0) == 0)
+
+    def test_drift_is_slow(self):
+        drift = baseline_drift(10_000, 100.0, 1.0, cutoff_hz=0.05, rng=2)
+        spectrum = np.abs(np.fft.rfft(drift))
+        freqs = np.fft.rfftfreq(10_000, 0.01)
+        fast = spectrum[freqs > 1.0].sum()
+        slow = spectrum[freqs <= 1.0].sum()
+        assert fast < 0.01 * slow
+
+    def test_drift_rms_normalised(self):
+        drift = baseline_drift(5000, 100.0, 0.3, rng=3)
+        assert abs(np.sqrt(np.mean(drift ** 2)) - 0.3) < 1e-9
+
+
+class TestMixtures:
+    def test_names(self):
+        assert mixture_names() == ["msig1", "msig2", "msig3", "msig4", "msig5"]
+
+    def test_spec_roles(self):
+        assert [s.name for s in MSIG_SPECS["msig1"].sources] == \
+            ["maternal", "fetal"]
+        assert [s.name for s in MSIG_SPECS["msig5"].sources] == \
+            ["respiration", "maternal", "fetal"]
+
+    def test_spec_values_match_table1(self):
+        spec = get_mixture_spec("MSIG3")
+        assert spec.sources[0].amp_mean == 0.4
+        assert spec.sources[1].f_max == 3.0
+        assert spec.noise_std == 0.04
+
+    def test_unknown_mixture_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_mixture_spec("msig9")
+
+    def test_mixture_is_sum_of_parts(self, small_mixture):
+        total = small_mixture.noise + sum(small_mixture.sources.values())
+        assert np.allclose(small_mixture.mixed, total)
+
+    def test_deterministic_by_seed(self):
+        a = make_mixture("msig2", duration_s=10.0, seed=5)
+        b = make_mixture("msig2", duration_s=10.0, seed=5)
+        assert np.allclose(a.mixed, b.mixed)
+        c = make_mixture("msig2", duration_s=10.0, seed=6)
+        assert not np.allclose(a.mixed, c.mixed)
+
+    def test_f0_tracks_within_spec(self, small_mixture):
+        for src in small_mixture.spec.sources:
+            track = small_mixture.f0_tracks[src.name]
+            assert np.all(track >= src.f_min - 1e-9)
+            assert np.all(track <= src.f_max + 1e-9)
+
+    def test_source_matrix_shape(self, three_source_mixture):
+        matrix = three_source_mixture.source_matrix()
+        assert matrix.shape == (3, three_source_mixture.n_samples)
+
+    def test_make_all(self):
+        out = make_all_mixtures(duration_s=5.0, seed=1)
+        assert set(out) == set(mixture_names())

@@ -1,0 +1,40 @@
+"""Tests for the preset system."""
+
+import pytest
+
+from repro.config import available_presets, get_preset
+from repro.errors import ConfigurationError
+
+
+def test_presets_registered():
+    assert {"full", "fast", "smoke"} <= set(available_presets())
+
+
+def test_get_preset_by_name():
+    preset = get_preset("full")
+    assert preset.name == "full"
+    assert preset.signal_duration_s == 300.0
+
+
+def test_get_preset_default_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PRESET", raising=False)
+    assert get_preset().name == "fast"
+    monkeypatch.setenv("REPRO_PRESET", "smoke")
+    assert get_preset().name == "smoke"
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(ConfigurationError):
+        get_preset("nope")
+
+
+def test_scaled_override():
+    preset = get_preset("fast").scaled(signal_duration_s=10.0)
+    assert preset.signal_duration_s == 10.0
+    assert preset.name == "fast"
+
+
+def test_budgets_ordered():
+    assert get_preset("smoke").deep_prior.iterations < \
+        get_preset("fast").deep_prior.iterations < \
+        get_preset("full").deep_prior.iterations

@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for cls in (
+        errors.ConfigurationError,
+        errors.ShapeError,
+        errors.ConvergenceError,
+        errors.DataError,
+        errors.GraphError,
+        errors.SerializationError,
+    ):
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_shape_error_is_value_error():
+    assert issubclass(errors.ShapeError, ValueError)
+
+
+def test_graph_error_is_runtime_error():
+    assert issubclass(errors.GraphError, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.DataError("x")

