@@ -1,0 +1,30 @@
+# Convenience targets for the DHF reproduction.  Every target is a thin
+# wrapper over a plain command (shown by `make help`), so nothing here is
+# required — see README.md "Tests and benchmarks".
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: help test bench bench-all docs-check smoke
+
+help:
+	@echo "make test        - tier-1 test suite (pytest -x -q)"
+	@echo "make bench       - batched-pipeline speedup benchmark (asserts >= 3x)"
+	@echo "make bench-all   - all paper-artefact benchmarks (pytest-benchmark)"
+	@echo "make docs-check  - docs exist + documented names import"
+	@echo "make smoke       - CI-style smoke: tier-1 tests + bench --smoke"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_pipeline.py
+
+bench-all:
+	$(PYTHON) -m pytest benchmarks/bench_pipeline.py $(wildcard benchmarks/bench_*.py) -q -s
+
+docs-check:
+	$(PYTHON) scripts/check_docs.py
+
+smoke:
+	bash scripts/smoke.sh

@@ -1,0 +1,90 @@
+"""Docs consistency check (the Makefile's ``docs-check`` target).
+
+Verifies that
+
+1. the top-level ``README.md`` and ``docs/architecture.md`` exist;
+2. every re-export list (``__all__``) of the public packages resolves —
+   a stale name in an ``__init__`` fails here, not in a user session;
+3. every dotted ``repro.*`` module path mentioned in the docs imports.
+
+Run:  PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = [ROOT / "README.md", ROOT / "docs" / "architecture.md"]
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.dsp",
+    "repro.core",
+    "repro.pipeline",
+    "repro.baselines",
+    "repro.metrics",
+    "repro.synth",
+    "repro.experiments",
+]
+
+
+def check_exports() -> list:
+    problems = []
+    for package in PUBLIC_PACKAGES:
+        module = importlib.import_module(package)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            if not hasattr(module, name):
+                problems.append(f"{package}.__all__ lists missing {name!r}")
+    return problems
+
+
+def check_doc_references() -> list:
+    problems = []
+    pattern = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)")
+    for doc in DOCS:
+        if not doc.exists():
+            problems.append(f"missing documentation file: {doc}")
+            continue
+        for dotted in sorted(set(pattern.findall(doc.read_text()))):
+            parts = dotted.split(".")
+            # Walk down until the longest importable module prefix, then
+            # resolve the remainder as attributes.
+            for split in range(len(parts), 0, -1):
+                module_name = ".".join(parts[:split])
+                try:
+                    obj = importlib.import_module(module_name)
+                except ImportError:
+                    continue
+                try:
+                    for attr in parts[split:]:
+                        obj = getattr(obj, attr)
+                except AttributeError:
+                    problems.append(
+                        f"{doc.name}: documented name {dotted!r} does not "
+                        f"resolve"
+                    )
+                break
+            else:
+                problems.append(
+                    f"{doc.name}: documented module {dotted!r} does not import"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_exports() + check_doc_references()
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"docs-check: OK ({len(DOCS)} docs, "
+          f"{len(PUBLIC_PACKAGES)} packages verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

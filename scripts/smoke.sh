@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI-style smoke run: the tier-1 test suite, the docs consistency check,
+# and a small batched-pipeline benchmark (correctness-checked, no speedup
+# assertion).  Referenced from README.md and `make smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== docs-check =="
+python scripts/check_docs.py
+
+echo "== bench_pipeline --smoke =="
+python benchmarks/bench_pipeline.py --smoke
+
+echo "smoke: OK"

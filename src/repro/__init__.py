@@ -4,14 +4,22 @@ Quasi-periodic signal separation from a single mixed measurement using
 pattern alignment, harmonic masking, and deep-prior spectrogram in-painting
 with a Spectrally Accurate Light U-Net.
 
+The names most users need are re-exported here, so typical sessions start
+with ``from repro import DHFSeparator, SeparationPipeline, stft`` — see
+the Public API table in the top-level ``README.md``.
+
 Subpackages
 -----------
 ``repro.core``
     The DHF algorithm (pattern alignment, masking, in-painting, phase).
+``repro.pipeline``
+    Batched separation over record sets: cached STFT plans, vectorized
+    batch STFT/iSTFT, and the worker-pooled :class:`SeparationPipeline`.
 ``repro.nn``
     From-scratch NumPy autograd + harmonic-convolution networks.
 ``repro.dsp``
-    STFT/ISTFT, filters, interpolation, resampling.
+    STFT/ISTFT (single-record and batched), filters, interpolation,
+    resampling.
 ``repro.synth``
     Quasi-periodic signal generator and the paper's Table-1 mixtures.
 ``repro.baselines``
@@ -26,9 +34,37 @@ Subpackages
     Runners regenerating every table and figure of the paper.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import errors
 from repro.config import available_presets, get_preset
+from repro.core import DHFConfig, DHFResult, DHFSeparator
+from repro.dsp import (
+    BatchStft,
+    StftPlan,
+    StftResult,
+    get_stft_plan,
+    istft,
+    istft_batch,
+    stft,
+    stft_batch,
+)
+from repro.metrics import average_mse, average_sdr_db, mse, sdr_db
+from repro.pipeline import (
+    BatchResult,
+    SeparationPipeline,
+    SeparationRecord,
+    records_from_arrays,
+)
+from repro.separation import Separator
 
-__all__ = ["errors", "get_preset", "available_presets", "__version__"]
+__all__ = [
+    "errors", "get_preset", "available_presets", "__version__",
+    "DHFConfig", "DHFResult", "DHFSeparator",
+    "BatchStft", "StftPlan", "StftResult", "get_stft_plan",
+    "istft", "istft_batch", "stft", "stft_batch",
+    "average_mse", "average_sdr_db", "mse", "sdr_db",
+    "BatchResult", "SeparationPipeline", "SeparationRecord",
+    "records_from_arrays",
+    "Separator",
+]

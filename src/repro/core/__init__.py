@@ -1,4 +1,14 @@
-"""repro.core — the Deep Harmonic Finesse algorithm."""
+"""repro.core — the Deep Harmonic Finesse algorithm.
+
+Public surface
+--------------
+:class:`DHFSeparator` / :class:`DHFConfig` are the entry points; the
+stage modules (``alignment``, ``masking``, ``inpainting``, ``phase``)
+export the building blocks in pipeline order, and ``results`` the
+:class:`DHFResult` / :class:`DHFRound` diagnostics.  For batches of
+records, wrap a separator in :class:`repro.pipeline.SeparationPipeline`
+or call its inherited ``separate_many``.
+"""
 
 from repro.core.alignment import (
     Alignment,

@@ -14,6 +14,14 @@ Each round extracts one source from the current residual:
 
 Sources are processed in decreasing ridge-energy order (respiration →
 maternal → fetal in the TFO application).
+
+Batch processing: a :class:`DHFSeparator` is a plain picklable object,
+so record sets route through :class:`repro.pipeline.SeparationPipeline`
+(or the inherited :meth:`repro.separation.Separator.separate_many`
+convenience) — serially or across a thread/process pool.  Every STFT in
+a batch run shares the cached plans of :mod:`repro.dsp.plan`, so the
+window and overlap-add normalizer of each alignment geometry are built
+once per batch instead of once per record.
 """
 
 from __future__ import annotations

@@ -1,5 +1,21 @@
-"""repro.dsp — signal-processing substrate built from scratch on NumPy FFTs."""
+"""repro.dsp — signal-processing substrate built from scratch on NumPy FFTs.
 
+Public surface
+--------------
+Windows and COLA checks (:mod:`repro.dsp.windows`), the vectorized
+STFT/iSTFT pair plus batched variants (:mod:`repro.dsp.stft`), cached
+STFT plans and grouped overlap-add (:mod:`repro.dsp.plan`),
+interpolation, IIR/FIR filtering, resampling, analytic-signal tools, and
+spectrum estimates.
+"""
+
+from repro.dsp.plan import (
+    StftPlan,
+    cache_friendly_chunk,
+    clear_plan_cache,
+    get_stft_plan,
+    overlap_add,
+)
 from repro.dsp.windows import (
     blackman,
     check_cola,
@@ -10,7 +26,16 @@ from repro.dsp.windows import (
     rectangular,
     window_names,
 )
-from repro.dsp.stft import StftResult, istft, spectrogram_db, stft
+from repro.dsp.stft import (
+    BatchStft,
+    StftResult,
+    istft,
+    istft_batch,
+    istft_loop,
+    spectrogram_db,
+    stft,
+    stft_batch,
+)
 from repro.dsp.interpolate import (
     Interp1d,
     cubic_spline_interp,
@@ -49,7 +74,10 @@ from repro.dsp.spectrum import (
 __all__ = [
     "blackman", "check_cola", "cola_sum", "get_window", "hamming", "hann",
     "rectangular", "window_names",
-    "StftResult", "istft", "spectrogram_db", "stft",
+    "StftPlan", "cache_friendly_chunk", "clear_plan_cache", "get_stft_plan",
+    "overlap_add",
+    "BatchStft", "StftResult", "istft", "istft_batch", "istft_loop",
+    "spectrogram_db", "stft", "stft_batch",
     "Interp1d", "cubic_spline_interp", "linear_interp",
     "natural_cubic_spline_coeffs", "pchip_interp", "pchip_slopes",
     "bandpass_filter", "butterworth_lowpass_sos", "convolve_same",

@@ -8,6 +8,15 @@ non-vanishing overlap sum (Griffin & Lim 1984).
 The DHF pipeline operates on :class:`StftResult` objects: magnitude for the
 deep-prior in-painting, phase for the cyclic phase interpolation, and
 :func:`istft` to return to the time domain.
+
+Hot paths are fully vectorized: analysis uses stride-trick framing with a
+single batched ``np.fft.rfft``, and synthesis routes through the grouped
+overlap-add of :mod:`repro.dsp.plan` (no per-frame Python loop).  The
+historical frame-by-frame synthesis survives as :func:`istft_loop`, the
+reference implementation used by equivalence tests and the
+``bench_pipeline`` speedup baseline.  Whole batches of equal-length
+records are processed at once by :func:`stft_batch` / :func:`istft_batch`,
+which share one cached :class:`~repro.dsp.plan.StftPlan` across records.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.dsp.plan import StftPlan, get_stft_plan
 from repro.dsp.windows import get_window
 from repro.utils.validation import as_1d_float_array, check_positive_int
 
@@ -91,10 +101,21 @@ class StftResult:
     def copy(self) -> "StftResult":
         return replace(self, values=self.values.copy())
 
+    def plan(self) -> StftPlan:
+        """The cached :class:`~repro.dsp.plan.StftPlan` for this geometry."""
+        return get_stft_plan(self.n_fft, self.hop, self.window_name)
 
-def frame_count(n_samples: int, n_fft: int, hop: int) -> int:
-    """Number of centred STFT frames produced for a signal of given length."""
-    return 1 + (n_samples + n_fft - n_fft) // hop if n_samples >= 0 else 0
+
+def _check_geometry(sampling_hz: float, n_fft: int, hop: Optional[int]) -> int:
+    check_positive_int(n_fft, "n_fft")
+    if hop is None:
+        hop = n_fft // 4
+    check_positive_int(hop, "hop")
+    if hop > n_fft:
+        raise ConfigurationError(f"hop {hop} must be <= n_fft {n_fft}")
+    if sampling_hz <= 0:
+        raise ConfigurationError(f"sampling_hz must be positive, got {sampling_hz}")
+    return hop
 
 
 def stft(
@@ -123,28 +144,10 @@ def stft(
         Window name understood by :func:`repro.dsp.windows.get_window`.
     """
     x = as_1d_float_array(x, "x")
-    check_positive_int(n_fft, "n_fft")
-    if hop is None:
-        hop = n_fft // 4
-    check_positive_int(hop, "hop")
-    if hop > n_fft:
-        raise ConfigurationError(f"hop {hop} must be <= n_fft {n_fft}")
-    if sampling_hz <= 0:
-        raise ConfigurationError(f"sampling_hz must be positive, got {sampling_hz}")
-
-    win = get_window(window, n_fft)
-    pad = n_fft // 2
-    xp = np.concatenate([np.zeros(pad), x, np.zeros(pad)])
-    n_frames = 1 + (xp.size - n_fft) // hop
-    if n_frames < 1:
-        raise ShapeError(
-            f"signal of {x.size} samples too short for n_fft={n_fft}"
-        )
-    strides = (xp.strides[0] * hop, xp.strides[0])
-    frames = np.lib.stride_tricks.as_strided(
-        xp, shape=(n_frames, n_fft), strides=strides, writeable=False
-    )
-    spec = np.fft.rfft(frames * win, axis=1).T  # (n_freq, n_frames)
+    hop = _check_geometry(sampling_hz, n_fft, hop)
+    plan = get_stft_plan(n_fft, hop, window)
+    frames = plan.frame_signal(x)  # (n_frames, n_fft) strided view
+    spec = np.fft.rfft(frames * plan.window, axis=1).T  # (n_freq, n_frames)
     return StftResult(
         values=spec, n_fft=n_fft, hop=hop, sampling_hz=float(sampling_hz),
         n_samples=x.size, window_name=window,
@@ -152,7 +155,11 @@ def stft(
 
 
 def istft(result: StftResult, length: Optional[int] = None) -> np.ndarray:
-    """Invert an STFT via weighted overlap-add.
+    """Invert an STFT via weighted overlap-add (vectorized).
+
+    Synthesis frames come from one batched ``np.fft.irfft``; the
+    overlap-add and WOLA normalizer run through the cached plan's grouped
+    accumulation, so no Python loop scales with the frame count.
 
     Parameters
     ----------
@@ -160,6 +167,33 @@ def istft(result: StftResult, length: Optional[int] = None) -> np.ndarray:
         The :class:`StftResult` to invert (possibly with modified values).
     length:
         Output length; defaults to ``result.n_samples``.
+    """
+    values = np.asarray(result.values)
+    if values.ndim != 2:
+        raise ShapeError(f"STFT values must be 2-D, got {values.shape}")
+    n_fft = result.n_fft
+    if values.shape[0] != n_fft // 2 + 1:
+        raise ShapeError(
+            f"{values.shape[0]} frequency rows inconsistent with n_fft={n_fft}"
+        )
+    if length is None:
+        length = result.n_samples
+    plan = get_stft_plan(n_fft, result.hop, result.window_name)
+    frames = np.fft.irfft(values.T, n=n_fft, axis=1)  # (n_frames, n_fft)
+    frames *= plan.window
+    signal = plan.overlap_add(frames)[:length]
+    if signal.size < length:
+        signal = np.pad(signal, (0, length - signal.size))
+    return signal
+
+
+def istft_loop(result: StftResult, length: Optional[int] = None) -> np.ndarray:
+    """Frame-by-frame reference inversion (the historical implementation).
+
+    Kept verbatim as the ground truth for equivalence tests and as the
+    per-record baseline of ``benchmarks/bench_pipeline.py``.  Production
+    code should call :func:`istft`, which computes the same result (up to
+    float summation order) without the per-frame loop.
     """
     values = np.asarray(result.values)
     if values.ndim != 2:
@@ -191,6 +225,134 @@ def istft(result: StftResult, length: Optional[int] = None) -> np.ndarray:
     if signal.size < length:
         signal = np.pad(signal, (0, length - signal.size))
     return signal
+
+
+@dataclass
+class BatchStft:
+    """STFTs of a batch of equal-length records sharing one geometry.
+
+    Attributes
+    ----------
+    values:
+        Complex array of shape ``(n_records, n_frames, n_freq)``.  The
+        layout is **frame-major** (time before frequency) so both FFT
+        directions operate on a contiguous last axis — the transposed
+        convention from the single-record :class:`StftResult`.
+    n_fft, hop, sampling_hz, n_samples, window_name:
+        Shared geometry, as in :class:`StftResult`.
+    """
+
+    values: np.ndarray
+    n_fft: int
+    hop: int
+    sampling_hz: float
+    n_samples: int
+    window_name: str = "hann"
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_records(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_frames(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def n_freq(self) -> int:
+        return self.values.shape[2]
+
+    def plan(self) -> StftPlan:
+        """The cached plan shared by every record in the batch."""
+        return get_stft_plan(self.n_fft, self.hop, self.window_name)
+
+    def record(self, index: int) -> StftResult:
+        """Single-record :class:`StftResult` view (``(n_freq, n_frames)``)."""
+        return StftResult(
+            values=self.values[index].T,
+            n_fft=self.n_fft,
+            hop=self.hop,
+            sampling_hz=self.sampling_hz,
+            n_samples=self.n_samples,
+            window_name=self.window_name,
+        )
+
+
+def stft_batch(
+    xs,
+    sampling_hz: float,
+    n_fft: int,
+    hop: Optional[int] = None,
+    window: str = "hann",
+) -> BatchStft:
+    """STFT a 2-D batch ``(n_records, n_samples)`` in one vectorized pass.
+
+    All records share the geometry, the window, and (via the plan cache)
+    the overlap-add normalizer for later inversion.  The framing is a
+    stride-trick view over the zero-padded batch, and one 3-D
+    ``np.fft.rfft`` transforms every frame of every record.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.ndim != 2:
+        raise ShapeError(f"batch must be 2-D (records, samples), got {xs.shape}")
+    hop = _check_geometry(sampling_hz, n_fft, hop)
+    plan = get_stft_plan(n_fft, hop, window)
+    frames = plan.frame_signal(xs)  # (B, n_frames, n_fft) strided view
+    values = np.fft.rfft(frames * plan.window, axis=2)  # (B, T, F)
+    return BatchStft(
+        values=values, n_fft=n_fft, hop=hop, sampling_hz=float(sampling_hz),
+        n_samples=xs.shape[1], window_name=window,
+    )
+
+
+def istft_batch(
+    batch: BatchStft,
+    values: Optional[np.ndarray] = None,
+    length: Optional[int] = None,
+) -> np.ndarray:
+    """Invert a :class:`BatchStft` back to ``(n_records, length)`` signals.
+
+    Parameters
+    ----------
+    batch:
+        The batch geometry (and default values) to invert.
+    values:
+        Optional replacement coefficients of shape
+        ``(n_records', n_frames, n_freq)`` — e.g. masked copies of
+        ``batch.values``; the leading dimension may differ from the
+        analysed batch (one batch analysis can drive many syntheses).
+    length:
+        Output length per record; defaults to ``batch.n_samples``.
+    """
+    if values is None:
+        values = batch.values
+    values = np.asarray(values)
+    if values.ndim != 3:
+        raise ShapeError(
+            f"batch STFT values must be 3-D (records, frames, freqs), "
+            f"got {values.shape}"
+        )
+    if values.shape[2] != batch.n_fft // 2 + 1:
+        raise ShapeError(
+            f"{values.shape[2]} frequency columns inconsistent with "
+            f"n_fft={batch.n_fft}"
+        )
+    if values.shape[1] != batch.n_frames:
+        raise ShapeError(
+            f"{values.shape[1]} frames inconsistent with the analysed "
+            f"batch ({batch.n_frames} frames)"
+        )
+    if length is None:
+        length = batch.n_samples
+    plan = batch.plan()
+    frames = np.fft.irfft(values, n=batch.n_fft, axis=2)  # (B, T, n_fft)
+    frames *= plan.window
+    signals = plan.overlap_add(frames)[:, :length]
+    if signals.shape[1] < length:
+        signals = np.pad(signals, ((0, 0), (0, length - signals.shape[1])))
+    return signals
 
 
 def spectrogram_db(magnitude: np.ndarray, floor_db: float = -120.0) -> np.ndarray:

@@ -5,12 +5,21 @@ figure of the paper.  Runners accept a :class:`repro.config.Preset` so the
 same code path serves both paper-scale runs (``full``) and CI-scale runs
 (``fast``/``smoke``), and each embeds the paper's reported values for
 side-by-side comparison in its rendered output.
+
+Record sets are processed in batch: :func:`records_from_mixtures` turns
+Table 1 mixtures into scored :class:`repro.pipeline.SeparationRecord`
+objects and :func:`run_separation_batch` pushes them through a
+:class:`repro.pipeline.SeparationPipeline`, so every runner benefits
+from vectorized ``separate_batch`` implementations, shared STFT plans,
+and optional worker pools.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.baselines import (
     EMDSeparator,
@@ -22,7 +31,9 @@ from repro.baselines import (
 from repro.config import Preset, get_preset
 from repro.core import DHFConfig, DHFSeparator
 from repro.core.inpainting import InpaintingConfig
+from repro.pipeline import BatchResult, SeparationPipeline, SeparationRecord
 from repro.separation import Separator
+from repro.synth import make_mixture
 
 #: Method display order of Table 2.
 TABLE2_METHOD_ORDER = (
@@ -63,6 +74,68 @@ def build_separators(
             continue
         methods[name] = candidates[name]
     return methods
+
+
+def records_from_mixtures(
+    mixture_names: Sequence[str],
+    context: "ExperimentContext",
+    reference_filter: Optional[Callable[[np.ndarray, float], np.ndarray]] = None,
+) -> Tuple[List[SeparationRecord], Dict[Tuple[str, int], str]]:
+    """Render Table 1 mixtures as scored separation records.
+
+    Parameters
+    ----------
+    mixture_names:
+        Mixture names (``"msig1"`` .. ``"msig5"``) to render at the
+        context's duration and seed.
+    context:
+        The preset/seed bundle of the calling runner.
+    reference_filter:
+        Optional ``f(signal, sampling_hz) -> signal`` applied to each
+        ground-truth source before it becomes a scoring reference (the
+        paper band-passes references to the scoring band).
+
+    Returns
+    -------
+    ``(records, labels)`` where ``labels`` maps the pipeline's
+    ``(record name, source index)`` score keys to source names.
+    """
+    records: List[SeparationRecord] = []
+    labels: Dict[Tuple[str, int], str] = {}
+    for mix_name in mixture_names:
+        mixture = make_mixture(
+            mix_name, duration_s=context.duration_s, seed=context.seed,
+        )
+        references = {}
+        for idx, src in enumerate(mixture.spec.sources):
+            labels[(mix_name, idx)] = src.name
+            reference = mixture.sources[src.name]
+            if reference_filter is not None:
+                reference = reference_filter(reference, mixture.sampling_hz)
+            references[src.name] = reference
+        records.append(SeparationRecord(
+            mixed=mixture.mixed,
+            sampling_hz=mixture.sampling_hz,
+            f0_tracks=mixture.f0_tracks,
+            name=mix_name,
+            references=references,
+        ))
+    return records, labels
+
+
+def run_separation_batch(
+    separator: Separator,
+    records: Sequence[SeparationRecord],
+    workers: int = 0,
+    executor: str = "thread",
+    postprocess: Optional[Callable] = None,
+) -> BatchResult:
+    """Run one method over a record set through the batch pipeline."""
+    pipeline = SeparationPipeline(
+        separator, workers=workers, executor=executor,
+        postprocess=postprocess,
+    )
+    return pipeline.run(records)
 
 
 @dataclass

@@ -20,14 +20,16 @@ from repro.experiments.common import (
     ExperimentContext,
     TABLE2_METHOD_ORDER,
     build_separators,
+    records_from_mixtures,
+    run_separation_batch,
 )
 from repro.experiments.paper_reference import (
     PAPER_LOW_POWER_CASES,
     PAPER_TABLE2,
     PAPER_TABLE2_AVERAGE,
 )
-from repro.metrics import average_mse, average_sdr_db, mse, sdr_db
-from repro.synth import make_mixture, mixture_names
+from repro.metrics import average_mse, average_sdr_db
+from repro.synth import mixture_names
 from repro.utils.logging import get_logger
 from repro.utils.tables import TextTable, format_float
 
@@ -132,8 +134,10 @@ def run_table2(
     context: Optional[ExperimentContext] = None,
     mixtures: Optional[List[str]] = None,
     methods: Optional[Tuple[str, ...]] = None,
+    workers: int = 0,
+    executor: str = "thread",
 ) -> Table2Result:
-    """Run the Table 2 comparison.
+    """Run the Table 2 comparison, one batch-pipeline pass per method.
 
     Parameters
     ----------
@@ -143,41 +147,35 @@ def run_table2(
         Subset of mixture names (default: all five).
     methods:
         Subset of method names in paper spelling (default: all seven).
+    workers:
+        Worker-pool size per method batch (``0`` = serial, which also
+        enables vectorized ``separate_batch`` fast paths).
+    executor:
+        ``"thread"`` or ``"process"`` when ``workers > 1``.
     """
     context = context or ExperimentContext.from_name()
     mixtures = mixtures or mixture_names()
     separators = build_separators(context.preset, include=methods)
 
-    scores: Dict[str, Dict[CaseKey, Tuple[float, float]]] = {
-        name: {} for name in separators
-    }
-    labels: Dict[CaseKey, str] = {}
+    # The paper scores band-pass-filtered signals; both references (at
+    # record-building time) and estimates (pipeline postprocess) pass
+    # through the same scoring-band filter.
     low, high = SCORING_BAND_HZ
-    for mix_name in mixtures:
-        mixture = make_mixture(
-            mix_name, duration_s=context.duration_s, seed=context.seed,
+
+    def to_band(signal, sampling_hz):
+        return bandpass_filter(signal, sampling_hz, low, high)
+
+    records, labels = records_from_mixtures(
+        mixtures, context, reference_filter=to_band,
+    )
+    scores: Dict[str, Dict[CaseKey, Tuple[float, float]]] = {}
+    for method_name, separator in separators.items():
+        _LOG.info("table2: %s on %d mixture(s)", method_name, len(records))
+        batch = run_separation_batch(
+            separator, records, workers=workers, executor=executor,
+            postprocess=lambda est, record: to_band(est, record.sampling_hz),
         )
-        # The paper scores on band-pass-filtered mixed signals.
-        references = {}
-        for idx, src in enumerate(mixture.spec.sources):
-            labels[(mix_name, idx)] = src.name
-            references[src.name] = bandpass_filter(
-                mixture.sources[src.name], mixture.sampling_hz, low, high,
-            )
-        for method_name, separator in separators.items():
-            _LOG.info("table2: %s on %s", method_name, mix_name)
-            estimates = separator.separate(
-                mixture.mixed, mixture.sampling_hz, mixture.f0_tracks
-            )
-            for idx, src in enumerate(mixture.spec.sources):
-                estimate = bandpass_filter(
-                    estimates[src.name], mixture.sampling_hz, low, high,
-                )
-                reference = references[src.name]
-                scores[method_name][(mix_name, idx)] = (
-                    sdr_db(estimate, reference),
-                    mse(estimate, reference),
-                )
+        scores[method_name] = batch.case_scores()
     return Table2Result(
         scores=scores, source_labels=labels, preset_name=context.preset.name,
     )

@@ -1,0 +1,48 @@
+"""repro.pipeline — batched, worker-pooled separation over record sets.
+
+The pipeline subsystem turns the single-record :class:`repro.separation.
+Separator` interface into a batch processor: build
+:class:`SeparationRecord` objects (or a whole list at once with
+:func:`records_from_arrays`), hand them to a
+:class:`SeparationPipeline`, and get back a :class:`BatchResult` whose
+per-source scores feed :mod:`repro.metrics.aggregate` and the
+figure/table runners directly.
+
+The DSP substrate it leans on — cached :class:`repro.dsp.StftPlan`
+objects, the vectorized grouped overlap-add, and the batched
+:func:`repro.dsp.stft_batch` / :func:`repro.dsp.istft_batch` pair — is
+re-exported here for convenience, since batch separators are the main
+consumer.
+"""
+
+from repro.dsp.plan import (
+    StftPlan,
+    cache_friendly_chunk,
+    clear_plan_cache,
+    get_stft_plan,
+    overlap_add,
+)
+from repro.dsp.stft import BatchStft, istft_batch, stft_batch
+from repro.pipeline.batch import (
+    BatchResult,
+    RecordResult,
+    SeparationPipeline,
+    SeparationRecord,
+    records_from_arrays,
+)
+
+__all__ = [
+    "BatchResult",
+    "RecordResult",
+    "SeparationPipeline",
+    "SeparationRecord",
+    "records_from_arrays",
+    "StftPlan",
+    "cache_friendly_chunk",
+    "clear_plan_cache",
+    "get_stft_plan",
+    "overlap_add",
+    "BatchStft",
+    "istft_batch",
+    "stft_batch",
+]

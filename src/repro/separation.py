@@ -10,7 +10,7 @@ per-source fundamental-frequency tracks (assumption 3 of Sec. 1).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -48,6 +48,55 @@ class Separator(abc.ABC):
         Estimates keyed by the same source names, each the length of
         ``mixed``.
         """
+
+    def separate_batch(
+        self,
+        mixed_batch: Sequence,
+        sampling_hz: float,
+        f0_tracks_batch: Sequence[Mapping[str, np.ndarray]],
+    ) -> List[Dict[str, np.ndarray]]:
+        """Separate several records sharing one sampling rate.
+
+        The default runs :meth:`separate` record by record; subclasses
+        whose per-record work is dominated by STFT round-trips override
+        this with a vectorized implementation (see
+        :class:`repro.baselines.SpectralMaskingSeparator`).
+        :class:`repro.pipeline.SeparationPipeline` calls this hook on its
+        serial path, so vectorized overrides are picked up automatically.
+
+        Parameters
+        ----------
+        mixed_batch:
+            One mixed 1-D measurement per record (lengths may differ).
+        sampling_hz:
+            Sampling rate shared by every record.
+        f0_tracks_batch:
+            One per-source f0-track mapping per record, aligned with
+            ``mixed_batch``.
+        """
+        if len(mixed_batch) != len(f0_tracks_batch):
+            raise ConfigurationError(
+                f"{len(mixed_batch)} mixed records but "
+                f"{len(f0_tracks_batch)} f0-track mappings"
+            )
+        return [
+            self.separate(mixed, sampling_hz, tracks)
+            for mixed, tracks in zip(mixed_batch, f0_tracks_batch)
+        ]
+
+    def separate_many(self, records, workers: int = 0, executor: str = "thread"):
+        """Run this separator over :class:`repro.pipeline.SeparationRecord` s.
+
+        Convenience wrapper building a
+        :class:`repro.pipeline.SeparationPipeline`; returns its
+        :class:`repro.pipeline.BatchResult`.  ``workers``/``executor``
+        are forwarded verbatim (imported lazily to keep this module at
+        the bottom of the dependency graph).
+        """
+        from repro.pipeline import SeparationPipeline
+
+        pipeline = SeparationPipeline(self, workers=workers, executor=executor)
+        return pipeline.run(records)
 
     def _validate(self, mixed, sampling_hz, f0_tracks) -> np.ndarray:
         mixed = as_1d_float_array(mixed, "mixed")
