@@ -5,20 +5,25 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test bench bench-all docs-check smoke
+.PHONY: help test bench bench-streaming bench-all docs-check smoke ci
 
 help:
-	@echo "make test        - tier-1 test suite (pytest -x -q)"
-	@echo "make bench       - batched-pipeline speedup benchmark (asserts >= 3x)"
-	@echo "make bench-all   - all paper-artefact benchmarks (pytest-benchmark)"
-	@echo "make docs-check  - docs exist + documented names import"
-	@echo "make smoke       - CI-style smoke: tier-1 tests + bench --smoke"
+	@echo "make test            - tier-1 test suite (pytest -x -q)"
+	@echo "make bench           - batched-pipeline speedup benchmark (asserts >= 3x)"
+	@echo "make bench-streaming - streaming latency/throughput benchmark"
+	@echo "make bench-all       - all paper-artefact benchmarks (pytest-benchmark)"
+	@echo "make docs-check      - docs exist + documented names import"
+	@echo "make smoke           - CI-style smoke: tests + docs-check + both bench --smoke"
+	@echo "make ci              - full gate: pytest + smoke script + docs check"
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
+
+bench-streaming:
+	$(PYTHON) benchmarks/bench_streaming.py
 
 bench-all:
 	$(PYTHON) -m pytest benchmarks/bench_pipeline.py $(wildcard benchmarks/bench_*.py) -q -s
@@ -28,3 +33,8 @@ docs-check:
 
 smoke:
 	bash scripts/smoke.sh
+
+ci:
+	$(PYTHON) -m pytest -x -q
+	bash scripts/smoke.sh
+	$(PYTHON) scripts/check_docs.py

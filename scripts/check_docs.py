@@ -24,6 +24,7 @@ PUBLIC_PACKAGES = [
     "repro.dsp",
     "repro.core",
     "repro.pipeline",
+    "repro.streaming",
     "repro.baselines",
     "repro.metrics",
     "repro.synth",
@@ -59,6 +60,12 @@ def check_doc_references() -> list:
                     obj = importlib.import_module(module_name)
                 except ImportError:
                     continue
+                except Exception as exc:  # import-time crash: report, not raise
+                    problems.append(
+                        f"{doc.name}: documented module {module_name!r} "
+                        f"fails to import ({type(exc).__name__}: {exc})"
+                    )
+                    break
                 try:
                     for attr in parts[split:]:
                         obj = getattr(obj, attr)

@@ -16,4 +16,7 @@ python scripts/check_docs.py
 echo "== bench_pipeline --smoke =="
 python benchmarks/bench_pipeline.py --smoke
 
+echo "== bench_streaming --smoke =="
+python benchmarks/bench_streaming.py --smoke
+
 echo "smoke: OK"

@@ -14,7 +14,12 @@ Subpackages
     The DHF algorithm (pattern alignment, masking, in-painting, phase).
 ``repro.pipeline``
     Batched separation over record sets: cached STFT plans, vectorized
-    batch STFT/iSTFT, and the worker-pooled :class:`SeparationPipeline`.
+    batch STFT/iSTFT, the worker-pooled :class:`SeparationPipeline`, and
+    the multi-subject :class:`StreamSession`.
+``repro.streaming``
+    Stateful chunked separation: :class:`StreamingSeparator` windows a
+    live stream into overlapping segments, runs any separator per
+    segment, and cross-fades outputs with bounded latency.
 ``repro.nn``
     From-scratch NumPy autograd + harmonic-convolution networks.
 ``repro.dsp``
@@ -34,7 +39,7 @@ Subpackages
     Runners regenerating every table and figure of the paper.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import errors
 from repro.config import available_presets, get_preset
@@ -43,6 +48,8 @@ from repro.dsp import (
     BatchStft,
     StftPlan,
     StftResult,
+    StreamingIstft,
+    StreamingStft,
     get_stft_plan,
     istft,
     istft_batch,
@@ -52,19 +59,26 @@ from repro.dsp import (
 from repro.metrics import average_mse, average_sdr_db, mse, sdr_db
 from repro.pipeline import (
     BatchResult,
+    ChunkResult,
     SeparationPipeline,
     SeparationRecord,
+    StreamSession,
     records_from_arrays,
+    stream_records,
 )
 from repro.separation import Separator
+from repro.streaming import StreamingSeparator, stream_record
 
 __all__ = [
     "errors", "get_preset", "available_presets", "__version__",
     "DHFConfig", "DHFResult", "DHFSeparator",
     "BatchStft", "StftPlan", "StftResult", "get_stft_plan",
     "istft", "istft_batch", "stft", "stft_batch",
+    "StreamingIstft", "StreamingStft",
     "average_mse", "average_sdr_db", "mse", "sdr_db",
     "BatchResult", "SeparationPipeline", "SeparationRecord",
     "records_from_arrays",
+    "ChunkResult", "StreamSession", "stream_records",
+    "StreamingSeparator", "stream_record",
     "Separator",
 ]

@@ -61,8 +61,18 @@ class SpectralMaskingSeparator(Separator):
 
     name: str = "Spect. Masking"
 
-    def _geometry(self, sampling_hz: float, n_samples: int) -> tuple:
-        """Shared STFT geometry of the single-record and batch paths."""
+    def stft_geometry(self, sampling_hz: float, n_samples: int) -> tuple:
+        """``(n_fft, hop)`` this separator uses for a record of a given size.
+
+        Public because streaming callers need it: for frame-exact
+        equivalence with the offline path, a
+        :class:`repro.streaming.StreamingSeparator` wrapping this method
+        should use a segment advance that is a multiple of ``hop`` and a
+        segment overlap of at least ``n_fft + hop`` (the edge zone a
+        segment's virtual zero padding and partial WOLA normalizer can
+        contaminate).  Note ``n_fft`` saturates at ``n_samples``, so
+        probe it with the segment length, not the full record length.
+        """
         n_fft = max(64, int(self.n_fft_seconds * sampling_hz))
         n_fft = min(n_fft, n_samples)
         hop = max(1, int(n_fft * self.hop_fraction))
@@ -85,7 +95,7 @@ class SpectralMaskingSeparator(Separator):
 
     def separate(self, mixed, sampling_hz, f0_tracks) -> Dict[str, np.ndarray]:
         mixed = self._validate(mixed, sampling_hz, f0_tracks)
-        n_fft, hop = self._geometry(sampling_hz, mixed.size)
+        n_fft, hop = self.stft_geometry(sampling_hz, mixed.size)
         spec = stft(mixed, sampling_hz, n_fft=n_fft, hop=hop)
         masks = self._build_masks(spec, f0_tracks, sampling_hz)
         estimates = {}
@@ -119,7 +129,7 @@ class SpectralMaskingSeparator(Separator):
         n = rows[0].size
         for row, tracks in zip(rows, f0_tracks_batch):
             self._validate(row, sampling_hz, tracks)  # fail before any FFT
-        n_fft, hop = self._geometry(sampling_hz, n)
+        n_fft, hop = self.stft_geometry(sampling_hz, n)
         plan = get_stft_plan(n_fft, hop)
         n_frames = plan.n_frames(n)
 

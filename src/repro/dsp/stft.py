@@ -26,7 +26,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import ConfigurationError, DataError, ShapeError
 from repro.dsp.plan import StftPlan, get_stft_plan
 from repro.dsp.windows import get_window
 from repro.utils.validation import as_1d_float_array, check_positive_int
@@ -171,6 +171,8 @@ def istft(result: StftResult, length: Optional[int] = None) -> np.ndarray:
     values = np.asarray(result.values)
     if values.ndim != 2:
         raise ShapeError(f"STFT values must be 2-D, got {values.shape}")
+    if values.shape[1] == 0:
+        raise DataError("cannot invert an STFT with zero frames")
     n_fft = result.n_fft
     if values.shape[0] != n_fft // 2 + 1:
         raise ShapeError(
@@ -198,6 +200,8 @@ def istft_loop(result: StftResult, length: Optional[int] = None) -> np.ndarray:
     values = np.asarray(result.values)
     if values.ndim != 2:
         raise ShapeError(f"STFT values must be 2-D, got {values.shape}")
+    if values.shape[1] == 0:
+        raise DataError("cannot invert an STFT with zero frames")
     n_fft, hop = result.n_fft, result.hop
     if values.shape[0] != n_fft // 2 + 1:
         raise ShapeError(
@@ -297,6 +301,10 @@ def stft_batch(
     xs = np.asarray(xs, dtype=np.float64)
     if xs.ndim != 2:
         raise ShapeError(f"batch must be 2-D (records, samples), got {xs.shape}")
+    if xs.shape[0] == 0:
+        raise DataError("batch must contain at least one record")
+    if xs.shape[1] == 0:
+        raise DataError("batch records must be non-empty (got 0 samples)")
     hop = _check_geometry(sampling_hz, n_fft, hop)
     plan = get_stft_plan(n_fft, hop, window)
     frames = plan.frame_signal(xs)  # (B, n_frames, n_fft) strided view
@@ -334,6 +342,8 @@ def istft_batch(
             f"batch STFT values must be 3-D (records, frames, freqs), "
             f"got {values.shape}"
         )
+    if values.shape[1] == 0:
+        raise DataError("cannot invert an STFT batch with zero frames")
     if values.shape[2] != batch.n_fft // 2 + 1:
         raise ShapeError(
             f"{values.shape[2]} frequency columns inconsistent with "

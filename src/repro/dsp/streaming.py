@@ -1,0 +1,332 @@
+"""Stateful streaming STFT analysis and synthesis.
+
+The offline :func:`repro.dsp.stft` / :func:`repro.dsp.istft` pair assumes
+the whole signal is in memory.  Real deployments (bedside monitors, live
+telehealth channels) receive samples continuously and need output with
+bounded latency, so this module provides stateful counterparts that accept
+incremental blocks of any size:
+
+``StreamingStft``
+    Buffers incoming samples, emits every analysis frame the moment its
+    last sample arrives, and carries the partial trailing frame across
+    chunk boundaries.  The emitted frames are *identical* to the offline
+    :func:`repro.dsp.stft` frames of the concatenated signal — same
+    centring pad, same window, same FFT — regardless of how the signal
+    was chunked.
+
+``StreamingIstft``
+    Accepts frames incrementally, overlap-adds them into an internal tail
+    buffer, and emits a sample once no future frame can touch it *and*
+    its WOLA normalizer is complete.  Emitted samples match the offline
+    :func:`repro.dsp.istft` output up to float summation order
+    (``~1e-12`` relative), again independent of chunking.
+
+Both classes build on the cached :class:`repro.dsp.plan.StftPlan` for the
+geometry, so a fleet of concurrent streams with one geometry shares a
+single window / overlap-add normalizer.
+
+Latency model
+-------------
+Frame ``k`` is centred at sample ``k * hop`` and spans samples
+``[k*hop - pad, k*hop - pad + n_fft)`` (``pad = n_fft // 2``), so the
+analysis emits it after ``n_fft - pad ≈ n_fft/2`` samples beyond its
+centre.  Synthesis holds a sample until the frame grid passes it.  The
+end-to-end ``StreamingStft → StreamingIstft`` latency is therefore
+bounded by ``n_fft + hop`` samples — independent of the stream length.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.plan import (
+    StftPlan,
+    apply_normalizer_floor,
+    get_stft_plan,
+    overlap_add,
+)
+from repro.dsp.stft import _check_geometry
+from repro.errors import ConfigurationError, DataError, ShapeError
+
+
+class StreamingStft:
+    """Incremental STFT analysis carrying partial frames across chunks.
+
+    Parameters
+    ----------
+    sampling_hz:
+        Sampling rate in Hz (kept for symmetry with :func:`repro.dsp.stft`
+        and for attaching physical units to emitted frames).
+    n_fft:
+        Window/FFT length in samples.
+    hop:
+        Frame stride in samples; defaults to ``n_fft // 4``.
+    window:
+        Window name understood by :func:`repro.dsp.windows.get_window`.
+
+    Notes
+    -----
+    :meth:`push` returns the newly completed frames as a **frame-major**
+    complex array of shape ``(m, n_freq)`` (the :class:`repro.dsp.BatchStft`
+    layout, ready to feed :class:`StreamingIstft`).  :meth:`finish`
+    flushes the frames that depend on the virtual trailing pad; after it,
+    exactly ``plan.n_frames(n_samples)`` frames have been emitted — the
+    same count (and values) as one offline :func:`repro.dsp.stft` call.
+    """
+
+    def __init__(
+        self,
+        sampling_hz: float,
+        n_fft: int,
+        hop: Optional[int] = None,
+        window: str = "hann",
+    ):
+        hop = _check_geometry(sampling_hz, n_fft, hop)
+        self.plan: StftPlan = get_stft_plan(n_fft, hop, window)
+        self.sampling_hz = float(sampling_hz)
+        #: Samples pushed so far.
+        self.n_samples = 0
+        #: Frames emitted so far.
+        self.n_frames = 0
+        #: True once :meth:`finish` has run.
+        self.closed = False
+        # Pending samples in *padded* coordinates; starts with the virtual
+        # centring pad so frame 0 is centred at sample 0, like offline.
+        self._buf = np.zeros(self.plan.pad)
+        self._buf_start = 0  # padded coordinate of self._buf[0]
+
+    @property
+    def n_fft(self) -> int:
+        return self.plan.n_fft
+
+    @property
+    def hop(self) -> int:
+        return self.plan.hop
+
+    @property
+    def window_name(self) -> str:
+        return self.plan.window_name
+
+    def push(self, samples) -> np.ndarray:
+        """Add a block of samples; return the newly completed frames.
+
+        Returns a complex array of shape ``(m, n_freq)`` where ``m`` may
+        be zero when the block did not complete any frame.
+        """
+        if self.closed:
+            raise ConfigurationError(
+                "cannot push into a finished StreamingStft"
+            )
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ShapeError(
+                f"samples must be 1-D, got shape {samples.shape}"
+            )
+        self.n_samples += samples.size
+        if samples.size:
+            self._buf = np.concatenate([self._buf, samples])
+        return self._emit()
+
+    def finish(self) -> np.ndarray:
+        """Flush the trailing frames (virtual right pad) and close.
+
+        The total emitted frame count equals ``plan.n_frames(n_samples)``
+        — the offline frame grid for the concatenated signal.
+        """
+        if self.closed:
+            raise ConfigurationError("StreamingStft already finished")
+        if self.n_samples == 0:
+            raise DataError(
+                "cannot finish an empty stream: no samples were pushed"
+            )
+        self.closed = True
+        self._buf = np.concatenate([self._buf, np.zeros(self.plan.pad)])
+        frames = self._emit()
+        self._buf = np.zeros(0)
+        return frames
+
+    def _emit(self) -> np.ndarray:
+        """Extract every frame whose last sample is buffered."""
+        plan = self.plan
+        end = self._buf_start + self._buf.size
+        ready = (end - plan.n_fft) // plan.hop + 1 - self.n_frames
+        if ready <= 0:
+            return np.empty((0, plan.n_freq), dtype=np.complex128)
+        offset = self.n_frames * plan.hop - self._buf_start
+        (stride,) = self._buf.strides
+        frames = np.lib.stride_tricks.as_strided(
+            self._buf[offset:],
+            shape=(ready, plan.n_fft),
+            strides=(stride * plan.hop, stride),
+            writeable=False,
+        )
+        spec = np.fft.rfft(frames * plan.window, axis=1)
+        self.n_frames += ready
+        # Drop samples no future frame will read (before the next start).
+        keep_from = self.n_frames * plan.hop
+        drop = keep_from - self._buf_start
+        if drop > 0:
+            self._buf = self._buf[drop:].copy()
+            self._buf_start = keep_from
+        return spec
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingStft(n_fft={self.n_fft}, hop={self.hop}, "
+            f"window={self.window_name!r}, n_samples={self.n_samples}, "
+            f"n_frames={self.n_frames}, closed={self.closed})"
+        )
+
+
+class StreamingIstft:
+    """Incremental WOLA synthesis carrying overlap-add tails across chunks.
+
+    Frames arrive frame-major (``(m, n_freq)``, the layout
+    :class:`StreamingStft` emits); finalized samples come back from
+    :meth:`push` as soon as they can no longer change.  A sample is
+    finalized once the frame grid has advanced past it **and** enough
+    frames have arrived that no admissible total signal length could put
+    further energy there — so the emitted values (and their WOLA
+    normalizer) are exactly the ones the offline :func:`repro.dsp.istft`
+    computes, up to float summation order.
+    """
+
+    def __init__(
+        self,
+        sampling_hz: float,
+        n_fft: int,
+        hop: Optional[int] = None,
+        window: str = "hann",
+    ):
+        hop = _check_geometry(sampling_hz, n_fft, hop)
+        self.plan: StftPlan = get_stft_plan(n_fft, hop, window)
+        self.sampling_hz = float(sampling_hz)
+        #: Frames pushed so far.
+        self.n_frames = 0
+        #: Finalized signal samples emitted so far.
+        self.n_samples = 0
+        self.closed = False
+        # Overlap-add and normalizer accumulators over the not-yet-final
+        # region, in padded coordinates starting at self._pos.
+        self._ola = np.zeros(0)
+        self._norm = np.zeros(0)
+        self._pos = 0
+        # Samples held back beyond the frame-grid limit so a final
+        # ``finish(length)`` can always trim to the true signal length:
+        # with hop > n_fft - pad the grid may overrun the shortest signal
+        # consistent with the emitted frame count.
+        self._holdback = max(0, self.plan.hop + self.plan.pad - self.plan.n_fft)
+
+    @property
+    def n_fft(self) -> int:
+        return self.plan.n_fft
+
+    @property
+    def hop(self) -> int:
+        return self.plan.hop
+
+    @property
+    def window_name(self) -> str:
+        return self.plan.window_name
+
+    def push(self, frames) -> np.ndarray:
+        """Add frames; return the newly finalized signal samples."""
+        if self.closed:
+            raise ConfigurationError(
+                "cannot push into a finished StreamingIstft"
+            )
+        plan = self.plan
+        frames = np.asarray(frames, dtype=np.complex128)
+        if frames.ndim != 2:
+            raise ShapeError(
+                f"frames must be 2-D (n_frames, n_freq), got {frames.shape}"
+            )
+        if frames.shape[1] != plan.n_freq:
+            raise ShapeError(
+                f"{frames.shape[1]} frequency columns inconsistent with "
+                f"n_fft={plan.n_fft}"
+            )
+        m = frames.shape[0]
+        if m == 0:
+            return np.empty(0)
+        synth = np.fft.irfft(frames, n=plan.n_fft, axis=1)
+        synth *= plan.window
+        span = (m - 1) * plan.hop + plan.n_fft
+        contrib = overlap_add(synth, plan.hop, span)
+        # Cached on the shared plan: same-geometry streams pushing
+        # same-sized chunks reuse one normalizer contribution.
+        norm_contrib = plan.ola_window_sq(m)
+        start = self.n_frames * plan.hop  # padded coord of first new frame
+        need = start + span - self._pos
+        if need > self._ola.size:
+            grow = need - self._ola.size
+            self._ola = np.concatenate([self._ola, np.zeros(grow)])
+            self._norm = np.concatenate([self._norm, np.zeros(grow)])
+        off = start - self._pos
+        self._ola[off:off + span] += contrib
+        self._norm[off:off + span] += norm_contrib
+        self.n_frames += m
+        # Samples before the next frame start are final (minus holdback).
+        return self._finalize(self.n_frames * plan.hop - self._holdback)
+
+    def finish(self, length: Optional[int] = None) -> np.ndarray:
+        """Emit the remaining tail and close the stream.
+
+        Parameters
+        ----------
+        length:
+            Total signal length to emit across the stream's lifetime
+            (like the ``length``/``n_samples`` trim of
+            :func:`repro.dsp.istft`).  ``None`` emits the full synthesis
+            span.  Must not be smaller than the samples already emitted.
+        """
+        if self.closed:
+            raise ConfigurationError("StreamingIstft already finished")
+        if self.n_frames == 0:
+            raise DataError(
+                "cannot finish a StreamingIstft that received no frames"
+            )
+        self.closed = True
+        if length is not None and length < self.n_samples:
+            raise ConfigurationError(
+                f"length {length} is shorter than the {self.n_samples} "
+                f"samples already emitted"
+            )
+        tail = self._finalize(self._pos + self._ola.size)
+        self._ola = np.zeros(0)
+        self._norm = np.zeros(0)
+        if length is not None:
+            want = length - (self.n_samples - tail.size)
+            if tail.size > want:
+                self.n_samples -= tail.size - want
+                tail = tail[:want]
+            elif tail.size < want:
+                self.n_samples += want - tail.size
+                tail = np.pad(tail, (0, want - tail.size))
+        return tail
+
+    def _finalize(self, limit: int) -> np.ndarray:
+        """Normalize and emit buffered samples with padded coord < limit."""
+        take = min(limit - self._pos, self._ola.size)
+        if take <= 0:
+            return np.empty(0)
+        norm = apply_normalizer_floor(self._norm[:take])
+        out = self._ola[:take] / norm
+        self._ola = self._ola[take:].copy()
+        self._norm = self._norm[take:].copy()
+        start = self._pos
+        self._pos += take
+        pad = self.plan.pad
+        if start < pad:  # strip the centring pad from the first emissions
+            out = out[pad - start:]
+        self.n_samples += out.size
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingIstft(n_fft={self.n_fft}, hop={self.hop}, "
+            f"window={self.window_name!r}, n_frames={self.n_frames}, "
+            f"n_samples={self.n_samples}, closed={self.closed})"
+        )

@@ -5,6 +5,8 @@ from repro.experiments.common import (
     TABLE2_METHOD_ORDER,
     build_dhf,
     build_separators,
+    run_separation_batch,
+    run_streaming_batch,
 )
 from repro.experiments.paper_reference import (
     PAPER_CLAIMS,
@@ -29,7 +31,7 @@ from repro.experiments.ablations import (
 
 __all__ = [
     "ExperimentContext", "TABLE2_METHOD_ORDER", "build_dhf",
-    "build_separators",
+    "build_separators", "run_separation_batch", "run_streaming_batch",
     "PAPER_CLAIMS", "PAPER_FIG6_CORRELATION", "PAPER_LOW_POWER_CASES",
     "PAPER_TABLE2", "PAPER_TABLE2_AVERAGE",
     "Table1Result", "run_table1",

@@ -31,7 +31,12 @@ from repro.baselines import (
 from repro.config import Preset, get_preset
 from repro.core import DHFConfig, DHFSeparator
 from repro.core.inpainting import InpaintingConfig
-from repro.pipeline import BatchResult, SeparationPipeline, SeparationRecord
+from repro.pipeline import (
+    BatchResult,
+    SeparationPipeline,
+    SeparationRecord,
+    stream_records,
+)
 from repro.separation import Separator
 from repro.synth import make_mixture
 
@@ -136,6 +141,37 @@ def run_separation_batch(
         postprocess=postprocess,
     )
     return pipeline.run(records)
+
+
+def run_streaming_batch(
+    separator: Separator,
+    records: Sequence[SeparationRecord],
+    segment_seconds: float,
+    overlap_seconds: float,
+    chunk_seconds: float,
+    workers: int = 0,
+    postprocess: Optional[Callable] = None,
+) -> BatchResult:
+    """Stream a record set chunk by chunk (the live-feed scenario).
+
+    Thin seconds-based wrapper over
+    :func:`repro.pipeline.stream_records`: every record becomes one
+    subject of a :class:`repro.pipeline.StreamSession`, chunks of
+    ``chunk_seconds`` are pushed round-robin, and the stitched estimates
+    are scored with the same rules as :func:`run_separation_batch` — so
+    offline and streaming numbers are directly comparable.
+    """
+    records = list(records)
+    if not records:
+        return BatchResult(results=[], separator_name=separator.name)
+    rate = records[0].sampling_hz
+    return stream_records(
+        separator, records,
+        segment_samples=max(1, int(round(segment_seconds * rate))),
+        overlap_samples=max(1, int(round(overlap_seconds * rate))),
+        chunk_samples=max(1, int(round(chunk_seconds * rate))),
+        workers=workers, postprocess=postprocess,
+    )
 
 
 @dataclass

@@ -8,6 +8,14 @@ Separator` interface into a batch processor: build
 per-source scores feed :mod:`repro.metrics.aggregate` and the
 figure/table runners directly.
 
+Live feeds go through the streaming side instead:
+:class:`StreamSession` holds one stateful
+:class:`repro.streaming.StreamingSeparator` per subject, fans chunked
+pushes across a thread pool, and reports per-chunk
+:class:`ChunkResult` objects; :func:`stream_records` drives a whole
+record set through a session and returns the same scored
+:class:`BatchResult` as the offline pipeline.
+
 The DSP substrate it leans on — cached :class:`repro.dsp.StftPlan`
 objects, the vectorized grouped overlap-add, and the batched
 :func:`repro.dsp.stft_batch` / :func:`repro.dsp.istft_batch` pair — is
@@ -28,15 +36,21 @@ from repro.pipeline.batch import (
     RecordResult,
     SeparationPipeline,
     SeparationRecord,
+    finalize_record,
     records_from_arrays,
 )
+from repro.pipeline.stream import ChunkResult, StreamSession, stream_records
 
 __all__ = [
     "BatchResult",
+    "ChunkResult",
     "RecordResult",
     "SeparationPipeline",
     "SeparationRecord",
+    "StreamSession",
+    "finalize_record",
     "records_from_arrays",
+    "stream_records",
     "StftPlan",
     "cache_friendly_chunk",
     "clear_plan_cache",

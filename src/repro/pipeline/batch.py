@@ -226,6 +226,45 @@ def _separate_one(
     return separator.separate(record.mixed, record.sampling_hz, record.f0_tracks)
 
 
+def finalize_record(
+    separator_name: str,
+    record: SeparationRecord,
+    estimates: Dict[str, np.ndarray],
+    postprocess: Optional[Postprocess] = None,
+    score: bool = True,
+) -> RecordResult:
+    """Post-process and score one record's raw estimates.
+
+    The shared back half of every separation path — the batch pipeline
+    and the streaming :class:`repro.pipeline.StreamSession` both route
+    their raw estimates through here, so post-processing and scoring
+    conventions cannot drift between the offline and streaming paths.
+    """
+    postprocess = postprocess or _identity_postprocess
+    missing = [s for s in record.source_names() if s not in estimates]
+    if missing:
+        raise DataError(
+            f"separator {separator_name!r} returned no estimate "
+            f"for source(s) {missing} of record {record.name!r}"
+        )
+    processed = {
+        source: postprocess(np.asarray(est), record)
+        for source, est in estimates.items()
+    }
+    scores: Dict[str, Tuple[float, float]] = {}
+    if score and record.references is not None:
+        for source in record.source_names():
+            if source not in record.references:
+                continue
+            reference = np.asarray(record.references[source])
+            estimate = processed[source]
+            scores[source] = (
+                sdr_db(estimate, reference),
+                mse(estimate, reference),
+            )
+    return RecordResult(record=record, estimates=processed, scores=scores)
+
+
 class SeparationPipeline:
     """Run one separator over many records, serially or fanned out.
 
@@ -334,28 +373,10 @@ class SeparationPipeline:
     def _finalize(
         self, record: SeparationRecord, estimates: Dict[str, np.ndarray]
     ) -> RecordResult:
-        missing = [s for s in record.source_names() if s not in estimates]
-        if missing:
-            raise DataError(
-                f"separator {self.separator.name!r} returned no estimate "
-                f"for source(s) {missing} of record {record.name!r}"
-            )
-        processed = {
-            source: self.postprocess(np.asarray(est), record)
-            for source, est in estimates.items()
-        }
-        scores: Dict[str, Tuple[float, float]] = {}
-        if self.score and record.references is not None:
-            for source in record.source_names():
-                if source not in record.references:
-                    continue
-                reference = np.asarray(record.references[source])
-                estimate = processed[source]
-                scores[source] = (
-                    sdr_db(estimate, reference),
-                    mse(estimate, reference),
-                )
-        return RecordResult(record=record, estimates=processed, scores=scores)
+        return finalize_record(
+            self.separator.name, record, estimates,
+            postprocess=self.postprocess, score=self.score,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,31 @@
+"""repro.streaming — stateful chunked separation with bounded latency.
+
+A :class:`StreamingSeparator` wraps any offline
+:class:`repro.separation.Separator` and consumes a live stream in
+arbitrary-size blocks: it windows the incoming signal into overlapping
+analysis segments, separates each segment with sliding f0-track slices,
+and cross-fades segment outputs, emitting per-source samples with
+latency bounded by one segment length.
+
+The frame-level substrate — :class:`repro.dsp.StreamingStft` /
+:class:`repro.dsp.StreamingIstft`, which carry partial frames and
+overlap-add tails across chunk boundaries on top of the cached
+:class:`repro.dsp.StftPlan` machinery — is re-exported here for
+separators that stream at STFT-frame granularity.  Multi-subject
+fan-out lives in :class:`repro.pipeline.StreamSession`.
+"""
+
+from repro.dsp.streaming import StreamingIstft, StreamingStft
+from repro.streaming.engine import (
+    StreamingSeparator,
+    crossfade_ramp,
+    stream_record,
+)
+
+__all__ = [
+    "StreamingIstft",
+    "StreamingSeparator",
+    "StreamingStft",
+    "crossfade_ramp",
+    "stream_record",
+]

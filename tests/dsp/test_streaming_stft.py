@@ -1,0 +1,187 @@
+"""Streaming STFT/iSTFT vs the offline pair: exactness under any chunking.
+
+The streaming classes promise offline-identical frames and samples no
+matter how the signal is cut into blocks; these tests sweep chunk sizes
+(single samples, primes, whole signal) and geometries (including
+hop == n_fft, which exercises the synthesis holdback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp import StreamingIstft, StreamingStft, istft, stft
+from repro.errors import ConfigurationError, DataError, ShapeError
+
+GEOMETRIES = [
+    (64, 16, "hann"),
+    (64, 32, "hann"),
+    (63, 17, "hamming"),
+    (64, 64, "rectangular"),
+    (32, 20, "hamming"),
+]
+
+
+def _stream_round_trip(x, n_fft, hop, window, chunk, frame_chunk=None):
+    """Push ``x`` through StreamingStft -> StreamingIstft in chunks."""
+    sstft = StreamingStft(100.0, n_fft, hop, window)
+    sistft = StreamingIstft(100.0, n_fft, hop, window)
+    frames, outs = [], []
+
+    def feed(block):
+        if frame_chunk is None:
+            outs.append(sistft.push(block))
+        else:
+            for s in range(0, block.shape[0], frame_chunk):
+                outs.append(sistft.push(block[s:s + frame_chunk]))
+
+    for s in range(0, x.size, chunk):
+        block = sstft.push(x[s:s + chunk])
+        frames.append(block)
+        feed(block)
+    block = sstft.finish()
+    frames.append(block)
+    feed(block)
+    outs.append(sistft.finish(length=x.size))
+    return np.concatenate(frames), np.concatenate(outs), sstft, sistft
+
+
+class TestStreamingStft:
+    @pytest.mark.parametrize("n_fft,hop,window", GEOMETRIES)
+    @pytest.mark.parametrize("chunk", [1, 7, 131])
+    def test_frames_match_offline(self, n_fft, hop, window, chunk, rng):
+        x = rng.standard_normal(500)
+        offline = stft(x, 100.0, n_fft=n_fft, hop=hop, window=window)
+        frames, _, sstft, _ = _stream_round_trip(
+            x, n_fft, hop, window, chunk,
+        )
+        assert sstft.n_frames == offline.n_frames
+        assert frames.shape == (offline.n_frames, offline.n_freq)
+        assert np.abs(frames - offline.values.T).max() <= 1e-12
+
+    def test_whole_signal_single_push(self, rng):
+        x = rng.standard_normal(777)
+        offline = stft(x, 100.0, n_fft=64, hop=16)
+        frames, _, _, _ = _stream_round_trip(x, 64, 16, "hann", x.size)
+        assert np.abs(frames - offline.values.T).max() <= 1e-12
+
+    def test_short_signals(self, rng):
+        # Shorter than one frame / exactly one frame / one frame + 1.
+        for n in (1, 5, 63, 64, 65):
+            x = rng.standard_normal(n)
+            offline = stft(x, 100.0, n_fft=64, hop=16)
+            frames, y, _, _ = _stream_round_trip(x, 64, 16, "hann", 3)
+            assert frames.shape[0] == offline.n_frames, n
+            assert np.abs(y - x).max() <= 1e-10, n
+
+    def test_empty_pushes_are_fine(self, rng):
+        s = StreamingStft(100.0, 64, 16)
+        assert s.push(np.empty(0)).shape == (0, 33)
+        x = rng.standard_normal(100)
+        s.push(x)
+        assert s.n_samples == 100
+
+    def test_push_after_finish_raises(self, rng):
+        s = StreamingStft(100.0, 64, 16)
+        s.push(rng.standard_normal(10))
+        s.finish()
+        with pytest.raises(ConfigurationError):
+            s.push(rng.standard_normal(10))
+        with pytest.raises(ConfigurationError):
+            s.finish()
+
+    def test_finish_empty_stream_raises(self):
+        with pytest.raises(DataError):
+            StreamingStft(100.0, 64, 16).finish()
+
+    def test_rejects_bad_shapes(self):
+        s = StreamingStft(100.0, 64, 16)
+        with pytest.raises(ShapeError):
+            s.push(np.zeros((3, 4)))
+
+
+class TestStreamingIstft:
+    @pytest.mark.parametrize("n_fft,hop,window", GEOMETRIES)
+    @pytest.mark.parametrize("chunk", [1, 7, 131, 997])
+    def test_round_trip_matches_offline(self, n_fft, hop, window, chunk, rng):
+        x = rng.standard_normal(997)
+        offline = istft(stft(x, 100.0, n_fft=n_fft, hop=hop, window=window))
+        _, y, _, sistft = _stream_round_trip(x, n_fft, hop, window, chunk)
+        assert y.size == x.size
+        assert sistft.n_samples == x.size
+        assert np.abs(y - offline).max() <= 1e-10
+        if hop <= n_fft // 2:
+            # Full-coverage geometries also reconstruct the input; with
+            # hop > pad the offline grid itself drops tail samples, and
+            # the streaming contract is offline-equality only.
+            assert np.abs(y - x).max() <= 1e-10
+
+    def test_frame_chunking_independent(self, rng):
+        # Re-chunking the *frame* stream must not change the samples.
+        x = rng.standard_normal(600)
+        _, y1, _, _ = _stream_round_trip(x, 64, 16, "hann", 600)
+        _, y2, _, _ = _stream_round_trip(x, 64, 16, "hann", 600, frame_chunk=1)
+        _, y3, _, _ = _stream_round_trip(x, 64, 16, "hann", 600, frame_chunk=5)
+        assert np.abs(y1 - y2).max() <= 1e-12
+        assert np.abs(y1 - y3).max() <= 1e-12
+
+    def test_finish_default_length(self, rng):
+        # Without a length, finish emits the full synthesis span.
+        x = rng.standard_normal(320)
+        sstft = StreamingStft(100.0, 64, 16)
+        sistft = StreamingIstft(100.0, 64, 16)
+        out = [sistft.push(sstft.push(x)), sistft.push(sstft.finish())]
+        out.append(sistft.finish())
+        y = np.concatenate(out)
+        assert y.size >= x.size
+        assert np.abs(y[:x.size] - x).max() <= 1e-10
+
+    def test_finish_length_shorter_than_emitted_raises(self, rng):
+        x = rng.standard_normal(900)
+        sstft = StreamingStft(100.0, 64, 16)
+        sistft = StreamingIstft(100.0, 64, 16)
+        sistft.push(sstft.push(x))
+        assert sistft.n_samples > 10
+        with pytest.raises(ConfigurationError):
+            sistft.finish(length=10)
+
+    def test_latency_bound(self, rng):
+        # End-to-end latency stays under n_fft + hop samples.
+        n_fft, hop = 64, 16
+        x = rng.standard_normal(2000)
+        sstft = StreamingStft(100.0, n_fft, hop)
+        sistft = StreamingIstft(100.0, n_fft, hop)
+        for s in range(0, x.size, 10):
+            sistft.push(sstft.push(x[s:s + 10]))
+            lag = sstft.n_samples - sistft.n_samples
+            assert lag <= n_fft + hop, (s, lag)
+
+    def test_normalizer_contribution_shared_across_streams(self, rng):
+        # Two same-geometry streams pushing same-sized chunks must share
+        # one cached normalizer contribution via the plan.
+        a = StreamingIstft(100.0, 64, 16)
+        b = StreamingIstft(100.0, 64, 16)
+        assert a.plan is b.plan
+        frames = np.asarray(
+            np.fft.rfft(rng.standard_normal((6, 64)), axis=1)
+        )
+        a.push(frames)
+        b.push(frames)
+        assert a.plan.ola_window_sq(6) is b.plan.ola_window_sq(6)
+        with pytest.raises(ValueError):  # cached array is read-only
+            a.plan.ola_window_sq(6)[0] = 1.0
+
+    def test_rejects_bad_frames(self):
+        s = StreamingIstft(100.0, 64, 16)
+        with pytest.raises(ShapeError):
+            s.push(np.zeros(33, dtype=complex))
+        with pytest.raises(ShapeError):
+            s.push(np.zeros((2, 7), dtype=complex))
+        with pytest.raises(DataError):
+            s.finish()
+
+    def test_push_after_finish_raises(self, rng):
+        s = StreamingIstft(100.0, 64, 16)
+        s.push(np.zeros((4, 33), dtype=complex))
+        s.finish()
+        with pytest.raises(ConfigurationError):
+            s.push(np.zeros((1, 33), dtype=complex))

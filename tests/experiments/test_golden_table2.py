@@ -1,0 +1,135 @@
+"""Golden regression fixtures for the Table 2 pipeline.
+
+The serialized scores under ``tests/experiments/golden/`` pin the exact
+per-method/per-source numbers the separation pipeline produces for a
+fixed (preset, seed, mixture) configuration.  Any refactor that silently
+shifts reproduced paper numbers — a changed window, a reordered
+reduction, a different mask rule — fails here with a per-case diff
+instead of slipping through.
+
+Regenerate intentionally (after verifying the shift is wanted) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_table2.py -q
+
+and commit the updated JSON alongside the change that moved the numbers.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_table2
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "table2_smoke.json"
+
+#: Fixture configuration; changing any of these invalidates the fixture.
+PRESET = "smoke"
+SEED = 3
+MIXTURES = ["msig1"]
+
+#: |SDR_dB delta| tolerated before the regression trips.  Real method
+#: changes move scores by >= 0.01 dB; cross-platform float noise through
+#: the whole pipeline (FFTs, deep-prior fit) stays far below this.
+SDR_ATOL_DB = 1e-3
+#: Relative MSE tolerance, same reasoning on a log-scale quantity.
+MSE_RTOL = 1e-3
+
+_REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    context = ExperimentContext.from_name(PRESET, seed=SEED)
+    return run_table2(context, mixtures=list(MIXTURES))
+
+
+def _serialize(result) -> dict:
+    return {
+        "config": {
+            "preset": PRESET,
+            "seed": SEED,
+            "mixtures": list(MIXTURES),
+        },
+        "scores": {
+            method: {
+                f"{case[0]}:{case[1]}": [float(v[0]), float(v[1])]
+                for case, v in sorted(cases.items())
+            }
+            for method, cases in result.scores.items()
+        },
+        "averages": {
+            method: [float(v[0]), float(v[1])]
+            for method, v in result.averages().items()
+        },
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {GOLDEN_PATH}. Generate it with "
+            f"REPRO_REGEN_GOLDEN=1 and commit the file."
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.skipif(not _REGEN, reason="set REPRO_REGEN_GOLDEN=1 to regenerate")
+def test_regenerate_golden(table2_result):
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(_serialize(table2_result), indent=2, sort_keys=True) + "\n"
+    )
+    pytest.skip(f"golden fixture rewritten at {GOLDEN_PATH}")
+
+
+@pytest.mark.skipif(_REGEN, reason="regenerating, comparison suspended")
+class TestGoldenTable2:
+    def test_config_matches(self):
+        golden = _load_golden()
+        assert golden["config"] == {
+            "preset": PRESET, "seed": SEED, "mixtures": list(MIXTURES),
+        }, "fixture was generated for a different configuration"
+
+    def test_method_and_case_coverage(self, table2_result):
+        golden = _load_golden()
+        got = _serialize(table2_result)
+        assert set(got["scores"]) == set(golden["scores"]), (
+            "method line-up changed; regenerate the fixture if intended"
+        )
+        for method in golden["scores"]:
+            assert set(got["scores"][method]) == set(golden["scores"][method])
+
+    def test_scores_match_golden(self, table2_result):
+        golden = _load_golden()
+        got = _serialize(table2_result)
+        drift = []
+        for method, cases in golden["scores"].items():
+            for case, (ref_sdr, ref_mse) in cases.items():
+                sdr, mse = got["scores"][method][case]
+                if abs(sdr - ref_sdr) > SDR_ATOL_DB:
+                    drift.append(
+                        f"{method} {case}: SDR {sdr:.6f} vs golden "
+                        f"{ref_sdr:.6f} dB"
+                    )
+                denom = max(abs(ref_mse), 1e-300)
+                if abs(mse - ref_mse) / denom > MSE_RTOL:
+                    drift.append(
+                        f"{method} {case}: MSE {mse:.6e} vs golden "
+                        f"{ref_mse:.6e}"
+                    )
+        assert not drift, (
+            "pipeline scores drifted from the golden fixture:\n  "
+            + "\n  ".join(drift)
+        )
+
+    def test_averages_match_golden(self, table2_result):
+        golden = _load_golden()
+        got = _serialize(table2_result)
+        for method, (ref_sdr, ref_mse) in golden["averages"].items():
+            sdr, mse = got["averages"][method]
+            assert abs(sdr - ref_sdr) <= SDR_ATOL_DB, method
+            assert abs(mse - ref_mse) / max(abs(ref_mse), 1e-300) <= MSE_RTOL, method

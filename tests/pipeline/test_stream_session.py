@@ -1,0 +1,196 @@
+"""StreamSession / ChunkResult / stream_records: multi-subject fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpectralMaskingSeparator
+from repro.errors import ConfigurationError
+from repro.pipeline import (
+    ChunkResult,
+    SeparationRecord,
+    SeparationPipeline,
+    StreamSession,
+    stream_records,
+)
+
+FS = 100.0
+
+
+def _subject_data(seed, n=2000):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / FS
+    mixed = (
+        np.sin(2 * np.pi * 1.1 * t + rng.uniform(0, 6))
+        + 0.5 * np.sin(2 * np.pi * 2.9 * t + rng.uniform(0, 6))
+        + 0.01 * rng.standard_normal(n)
+    )
+    tracks = {"a": np.full(n, 1.1), "b": np.full(n, 2.9)}
+    return mixed, tracks
+
+
+@pytest.fixture(scope="module")
+def masker():
+    return SpectralMaskingSeparator(n_fft_seconds=0.64, n_harmonics=4)
+
+
+def _run_session(masker, workers, n_subjects=3, chunk=150):
+    data = {f"s{i}": _subject_data(i) for i in range(n_subjects)}
+    results = {name: {} for name in data}
+    with StreamSession(
+        masker, FS, segment_samples=1024, overlap_samples=256,
+        workers=workers,
+    ) as session:
+        for name in data:
+            session.add_subject(name)
+        n = 2000
+        chunk_results = []
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            out = session.push_many({
+                name: (
+                    mixed[start:stop],
+                    {k: v[start:stop] for k, v in tracks.items()},
+                )
+                for name, (mixed, tracks) in data.items()
+            })
+            chunk_results.extend(out.values())
+        finals = session.flush_all()
+        chunk_results.extend(finals.values())
+    stitched = {}
+    for name in data:
+        per_source = {}
+        for cr in chunk_results:
+            if cr.subject != name:
+                continue
+            for source, est in cr.estimates.items():
+                per_source.setdefault(source, []).append(est)
+        stitched[name] = {
+            s: np.concatenate(parts) for s, parts in per_source.items()
+        }
+    return data, stitched, chunk_results
+
+
+class TestStreamSession:
+    def test_serial_outputs_complete(self, masker):
+        data, stitched, chunks = _run_session(masker, workers=0)
+        for name in data:
+            for source in ("a", "b"):
+                assert stitched[name][source].size == 2000
+
+    def test_threaded_matches_serial(self, masker):
+        _, serial, _ = _run_session(masker, workers=0)
+        _, threaded, _ = _run_session(masker, workers=3)
+        for name in serial:
+            for source in ("a", "b"):
+                assert np.array_equal(
+                    serial[name][source], threaded[name][source]
+                )
+
+    def test_chunk_results_are_contiguous(self, masker):
+        _, _, chunks = _run_session(masker, workers=0)
+        by_subject = {}
+        for cr in chunks:
+            by_subject.setdefault(cr.subject, []).append(cr)
+        for name, crs in by_subject.items():
+            crs.sort(key=lambda c: c.index)
+            assert [c.index for c in crs] == list(range(len(crs)))
+            pos = 0
+            for cr in crs:
+                assert isinstance(cr, ChunkResult)
+                assert cr.start == pos
+                assert cr.elapsed_s >= 0.0
+                pos += cr.n_emitted
+            assert pos == 2000
+            assert crs[-1].final
+
+    def test_unknown_subject_raises(self, masker):
+        with StreamSession(masker, FS, 1024, 256) as session:
+            with pytest.raises(ConfigurationError):
+                session.push("ghost", np.ones(10), {"a": np.ones(10)})
+
+    def test_duplicate_subject_raises(self, masker):
+        with StreamSession(masker, FS, 1024, 256) as session:
+            session.add_subject("s0")
+            with pytest.raises(ConfigurationError):
+                session.add_subject("s0")
+
+    def test_process_executor_rejected(self, masker):
+        with pytest.raises(ConfigurationError):
+            StreamSession(masker, FS, 1024, 256, workers=2, executor="process")
+
+    def test_engine_introspection(self, masker):
+        with StreamSession(masker, FS, 1024, 256) as session:
+            session.add_subject("s0")
+            assert session.engine("s0").segment_samples == 1024
+            assert session.subjects() == ["s0"]
+
+    def test_record_spans_forwarded(self, masker):
+        with StreamSession(
+            masker, FS, 1024, 256, record_spans=False
+        ) as session:
+            session.add_subject("s0")
+            assert session.engine("s0").record_spans is False
+
+
+class TestStreamRecords:
+    def _records(self, n_records=2):
+        records = []
+        for i in range(n_records):
+            mixed, tracks = _subject_data(100 + i)
+            references = {  # fake references: score plumbing only
+                "a": np.sin(2 * np.pi * 1.1 * np.arange(2000) / FS),
+                "b": 0.5 * np.sin(2 * np.pi * 2.9 * np.arange(2000) / FS),
+            }
+            records.append(SeparationRecord(
+                mixed=mixed, sampling_hz=FS, f0_tracks=tracks,
+                name=f"rec{i}", references=references,
+            ))
+        return records
+
+    def test_scored_batch_result(self, masker):
+        records = self._records()
+        batch = stream_records(
+            masker, records, segment_samples=1024, overlap_samples=256,
+            chunk_samples=200,
+        )
+        assert len(batch) == 2
+        assert batch.separator_name == masker.name
+        for result in batch:
+            assert set(result.estimates) == {"a", "b"}
+            for source in ("a", "b"):
+                assert result.estimates[source].size == 2000
+                sdr, err = result.scores[source]
+                assert np.isfinite(sdr) and err >= 0
+        summary = batch.summary()
+        assert set(summary) == {"a", "b"}
+
+    def test_matches_offline_pipeline_scores_closely(self, masker):
+        # Streaming alters only the cross-fade regions, so per-source
+        # SDR must track the offline pipeline tightly.
+        records = self._records()
+        offline = SeparationPipeline(masker).run(records)
+        streamed = stream_records(
+            masker, records, segment_samples=1024, overlap_samples=256,
+            chunk_samples=500,
+        )
+        for off_r, str_r in zip(offline, streamed):
+            for source in ("a", "b"):
+                off_sdr = off_r.scores[source][0]
+                str_sdr = str_r.scores[source][0]
+                assert abs(off_sdr - str_sdr) < 0.5, (source, off_sdr, str_sdr)
+
+    def test_empty_records(self, masker):
+        batch = stream_records(masker, [], 1024, 256, 100)
+        assert len(batch) == 0
+
+    def test_mixed_rates_rejected(self, masker):
+        records = self._records()
+        records[1].sampling_hz = 50.0
+        with pytest.raises(ConfigurationError):
+            stream_records(masker, records, 1024, 256, 100)
+
+    def test_duplicate_names_rejected(self, masker):
+        records = self._records()
+        records[1].name = records[0].name
+        with pytest.raises(ConfigurationError):
+            stream_records(masker, records, 1024, 256, 100)

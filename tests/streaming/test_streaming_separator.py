@@ -1,0 +1,238 @@
+"""StreamingSeparator: offline equivalence, chunk invariance, bookkeeping.
+
+The headline contract: with a segment advance aligned to the wrapped
+separator's STFT hop and an overlap covering the segment edge zone, the
+streamed output equals the offline ``separate`` **exactly** outside the
+recorded cross-fade spans — for every chunk size (single frame, primes,
+the whole record at once).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpectralMaskingSeparator
+from repro.errors import ConfigurationError, DataError
+from repro.separation import Separator
+from repro.streaming import StreamingSeparator, crossfade_ramp, stream_record
+
+FS = 100.0
+SEGMENT = 1024
+OVERLAP = 256
+
+
+class Halver(Separator):
+    """Trivial frame-local separator: every source gets mixed / n."""
+
+    name = "halver"
+
+    def separate(self, mixed, sampling_hz, f0_tracks):
+        mixed = self._validate(mixed, sampling_hz, f0_tracks)
+        return {name: mixed / len(f0_tracks) for name in f0_tracks}
+
+
+@pytest.fixture(scope="module")
+def record():
+    n = 3000
+    t = np.arange(n) / FS
+    mixed = (
+        np.sin(2 * np.pi * 1.1 * t)
+        + 0.5 * np.sin(2 * np.pi * 2.9 * t + 0.7)
+        + 0.01 * np.sin(2 * np.pi * 0.3 * t)
+    )
+    tracks = {"a": np.full(n, 1.1), "b": np.full(n, 2.9)}
+    return mixed, tracks
+
+
+@pytest.fixture(scope="module")
+def masker():
+    return SpectralMaskingSeparator(n_fft_seconds=0.64, n_harmonics=4)
+
+
+class TestOfflineEquivalence:
+    def _keep_mask(self, engine, n):
+        keep = np.ones(n, dtype=bool)
+        for s, e in engine.crossfade_spans:
+            keep[s:e] = False
+        return keep
+
+    def test_chunk_sizes_match_offline(self, record, masker):
+        mixed, tracks = record
+        n = mixed.size
+        n_fft, hop = masker.stft_geometry(FS, SEGMENT)
+        offline = masker.separate(mixed, FS, tracks)
+        # One STFT frame, a prime, and the whole record at once.
+        for chunk in (hop, 131, n):
+            est, engine = stream_record(
+                masker, mixed, FS, tracks,
+                segment_samples=SEGMENT, overlap_samples=OVERLAP,
+                chunk_samples=chunk,
+            )
+            keep = self._keep_mask(engine, n)
+            assert keep.sum() > n // 2  # fades must not cover everything
+            for name in tracks:
+                assert est[name].size == n
+                err = np.abs(est[name] - offline[name])[keep].max()
+                assert err <= 1e-8, (chunk, name, err)
+
+    def test_chunking_invariance_is_exact(self, record, masker):
+        # Different chunkings must produce bitwise-identical streams:
+        # the same segments run on the same data regardless of arrival.
+        mixed, tracks = record
+        outs = []
+        for chunk in (16, 131, mixed.size):
+            est, _ = stream_record(
+                masker, mixed, FS, tracks,
+                segment_samples=SEGMENT, overlap_samples=OVERLAP,
+                chunk_samples=chunk,
+            )
+            outs.append(est)
+        for name in tracks:
+            assert np.array_equal(outs[0][name], outs[1][name])
+            assert np.array_equal(outs[0][name], outs[2][name])
+
+    def test_record_shorter_than_one_segment(self, record, masker):
+        # Whole record inside the first segment: streaming equals the
+        # offline call everywhere (no cross-fade at all).
+        mixed, tracks = record
+        short = mixed[:700]
+        stracks = {k: v[:700] for k, v in tracks.items()}
+        offline = masker.separate(short, FS, stracks)
+        est, engine = stream_record(
+            masker, short, FS, stracks,
+            segment_samples=1024, overlap_samples=256, chunk_samples=97,
+        )
+        assert engine.crossfade_spans == []
+        assert engine.segments_run == [(0, 700)]
+        for name in stracks:
+            assert np.abs(est[name] - offline[name]).max() <= 1e-10
+
+    def test_record_end_on_segment_boundary(self, masker):
+        # n == segment end exactly: flush must not run a spurious extra
+        # segment, and output still matches offline outside the fades.
+        n = SEGMENT + 2 * (SEGMENT - OVERLAP)  # ends exactly at segment 3
+        t = np.arange(n) / FS
+        mixed = np.sin(2 * np.pi * 1.1 * t) + 0.4 * np.sin(2 * np.pi * 2.9 * t)
+        tracks = {"a": np.full(n, 1.1), "b": np.full(n, 2.9)}
+        offline = masker.separate(mixed, FS, tracks)
+        est, engine = stream_record(
+            masker, mixed, FS, tracks,
+            segment_samples=SEGMENT, overlap_samples=OVERLAP,
+            chunk_samples=100,
+        )
+        assert engine.segments_run[-1][1] == n
+        assert len(engine.segments_run) == 3
+        keep = self._keep_mask(engine, n)
+        for name in tracks:
+            assert est[name].size == n
+            assert np.abs(est[name] - offline[name])[keep].max() <= 1e-8
+
+
+class TestIdentityEquivalence:
+    def test_exact_everywhere_for_local_separator(self, record):
+        # Cross-fading two identical signals reproduces the signal, so a
+        # separator with no edge effects matches offline *everywhere*.
+        mixed, tracks = record
+        sep = Halver()
+        offline = sep.separate(mixed, FS, tracks)
+        est, _ = stream_record(
+            sep, mixed, FS, tracks,
+            segment_samples=500, overlap_samples=100, chunk_samples=37,
+        )
+        for name in tracks:
+            assert np.abs(est[name] - offline[name]).max() <= 1e-12
+
+
+class TestBookkeeping:
+    def test_latency_bound(self, record):
+        mixed, tracks = record
+        engine = StreamingSeparator(Halver(), FS, 500, 100)
+        for start in range(0, mixed.size, 50):
+            stop = min(mixed.size, start + 50)
+            engine.push(
+                mixed[start:stop],
+                {k: v[start:stop] for k, v in tracks.items()},
+            )
+            assert engine.n_pushed - engine.n_emitted <= engine.max_latency_samples
+        engine.flush()
+        assert engine.n_emitted == mixed.size
+
+    def test_emitted_totals_per_source(self, record):
+        mixed, tracks = record
+        est, engine = stream_record(
+            Halver(), mixed, FS, tracks,
+            segment_samples=400, overlap_samples=80, chunk_samples=61,
+        )
+        assert engine.n_emitted == mixed.size
+        for name in tracks:
+            assert est[name].size == mixed.size
+
+    def test_record_spans_off_keeps_state_bounded(self, record):
+        # Long-lived streams opt out of span recording; the output and
+        # the segment counter must be unaffected.
+        mixed, tracks = record
+        on = StreamingSeparator(Halver(), FS, 400, 80)
+        off = StreamingSeparator(Halver(), FS, 400, 80, record_spans=False)
+        outs = {id(on): [], id(off): []}
+        for engine in (on, off):
+            for start in range(0, mixed.size, 97):
+                stop = min(mixed.size, start + 97)
+                out = engine.push(
+                    mixed[start:stop],
+                    {k: v[start:stop] for k, v in tracks.items()},
+                )
+                outs[id(engine)].append(out["a"])
+            outs[id(engine)].append(engine.flush()["a"])
+        a_on = np.concatenate(outs[id(on)])
+        a_off = np.concatenate(outs[id(off)])
+        assert np.array_equal(a_on, a_off)
+        assert off.segments_run == [] and off.crossfade_spans == []
+        assert off.n_segments_run == on.n_segments_run == len(on.segments_run)
+        assert off.n_segments_run > 3
+
+    def test_crossfade_ramp_partition_of_unity(self):
+        ramp = crossfade_ramp(100)
+        assert np.all(ramp > 0) and np.all(ramp < 1)
+        # fade-out of one segment + fade-in of the next sums to 1
+        assert np.abs((ramp + (1.0 - ramp)) - 1.0).max() == 0.0
+        # symmetric: reversing the fade-in gives the fade-out
+        assert np.abs(ramp[::-1] - (1.0 - ramp)).max() <= 1e-15
+
+
+class TestValidation:
+    def test_overlap_must_be_smaller_than_segment(self):
+        with pytest.raises(ConfigurationError):
+            StreamingSeparator(Halver(), FS, 100, 100)
+
+    def test_requires_separator(self):
+        with pytest.raises(ConfigurationError):
+            StreamingSeparator(object(), FS, 100, 10)
+
+    def test_track_chunk_length_mismatch(self):
+        engine = StreamingSeparator(Halver(), FS, 100, 10)
+        with pytest.raises(DataError):
+            engine.push(np.ones(5), {"a": np.ones(4)})
+
+    def test_track_sources_must_stay_fixed(self):
+        engine = StreamingSeparator(Halver(), FS, 100, 10)
+        engine.push(np.ones(5), {"a": np.ones(5)})
+        with pytest.raises(ConfigurationError):
+            engine.push(np.ones(5), {"b": np.ones(5)})
+
+    def test_nonpositive_track_rejected(self):
+        engine = StreamingSeparator(Halver(), FS, 100, 10)
+        with pytest.raises(DataError):
+            engine.push(np.ones(5), {"a": np.zeros(5)})
+
+    def test_push_after_flush_raises(self):
+        engine = StreamingSeparator(Halver(), FS, 100, 10)
+        engine.push(np.ones(5), {"a": np.ones(5)})
+        engine.flush()
+        with pytest.raises(ConfigurationError):
+            engine.push(np.ones(5), {"a": np.ones(5)})
+        with pytest.raises(ConfigurationError):
+            engine.flush()
+
+    def test_flush_empty_stream_raises(self):
+        engine = StreamingSeparator(Halver(), FS, 100, 10)
+        with pytest.raises(DataError):
+            engine.flush()

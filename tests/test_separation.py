@@ -48,3 +48,61 @@ def test_validate_rejects_nonpositive_track():
 
 def test_repr_contains_name():
     assert "passthrough" in repr(Passthrough())
+
+
+class TestSeparateBatchEdges:
+    """Zero-length and single-frame inputs through the batch hooks."""
+
+    def test_empty_batch_returns_empty(self):
+        assert Passthrough().separate_batch([], 10.0, []) == []
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            Passthrough().separate_batch([np.ones(10)], 10.0, [])
+
+    def test_zero_length_record_raises_data_error(self):
+        with pytest.raises(DataError):
+            Passthrough().separate_batch(
+                [np.empty(0)], 10.0, [{"a": np.empty(0)}]
+            )
+
+    def test_zero_length_record_vectorized_path(self):
+        # The spectral-mask vectorized batch path must raise the same
+        # DataError as the per-record path, before any FFT work.
+        from repro.baselines import SpectralMaskingSeparator
+
+        sep = SpectralMaskingSeparator()
+        with pytest.raises(DataError):
+            sep.separate_batch(
+                [np.empty(0), np.empty(0)], 10.0,
+                [{"a": np.empty(0)}, {"a": np.empty(0)}],
+            )
+
+    def test_single_frame_records_separate(self):
+        # Records shorter than one analysis window of the configured
+        # geometry: n_fft saturates at the record length and the batch
+        # hook must still return full-length estimates.
+        from repro.baselines import SpectralMaskingSeparator
+
+        sep = SpectralMaskingSeparator(n_fft_seconds=2.0)
+        rng = np.random.default_rng(5)
+        rows = [rng.standard_normal(50) for _ in range(2)]
+        tracks = [{"a": np.full(50, 1.3)} for _ in range(2)]
+        out = sep.separate_batch(rows, 100.0, tracks)
+        assert len(out) == 2
+        for est in out:
+            assert est["a"].shape == (50,)
+            assert np.all(np.isfinite(est["a"]))
+
+    def test_stream_hook_returns_engine(self):
+        engine = Passthrough().stream(
+            10.0, segment_samples=40, overlap_samples=10
+        )
+        from repro.streaming import StreamingSeparator
+
+        assert isinstance(engine, StreamingSeparator)
+        assert engine.segment_advance == 30
+        quiet = Passthrough().stream(
+            10.0, segment_samples=40, overlap_samples=10, record_spans=False
+        )
+        assert quiet.record_spans is False
