@@ -5,19 +5,24 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test bench bench-streaming bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
+	@echo "make conformance     - separator conformance suite (every registered"
+	@echo "                       method x offline/batch/stream, smoke preset)"
 	@echo "make bench           - batched-pipeline speedup benchmark (asserts >= 3x)"
 	@echo "make bench-streaming - streaming latency/throughput benchmark"
 	@echo "make bench-all       - all paper-artefact benchmarks (pytest-benchmark)"
-	@echo "make docs-check      - docs exist + documented names import"
-	@echo "make smoke           - CI-style smoke: tests + docs-check + both bench --smoke"
-	@echo "make ci              - full gate: pytest + smoke script + docs check"
+	@echo "make docs-check      - docs exist + documented names import + registry documented"
+	@echo "make smoke           - CI-style smoke: tests + conformance + docs-check + both bench --smoke"
+	@echo "make ci              - full gate: pytest + conformance + smoke script + docs check"
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+conformance:
+	REPRO_PRESET=smoke $(PYTHON) -m pytest tests/service/test_conformance.py -q
 
 bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
@@ -34,6 +39,9 @@ docs-check:
 smoke:
 	bash scripts/smoke.sh
 
+# The conformance suite reaches ci twice already — collected by the
+# tier-1 pytest run and explicitly inside scripts/smoke.sh — so no
+# third invocation here.
 ci:
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh

@@ -35,13 +35,25 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.baselines import SpectralMaskingSeparator
 from repro.pipeline import StreamSession
+from repro.service import SpectralMaskingSpec, build_separator
 from repro.streaming import StreamingSeparator
+
 
 FS = 100.0
 N_HARMONICS = 4
 SOURCE_F0S = (1.2, 2.1, 3.3)  # Hz — maternal / fetal / artefact band
+
+
+def build_bench_separator():
+    """The benchmark method, built from the service registry.
+
+    0.64 s windows keep ``n_fft`` (64 samples at 100 Hz) far below the
+    streaming segment so segment-interior frames match the offline grid.
+    """
+    return build_separator(
+        SpectralMaskingSpec(n_fft_seconds=0.64, n_harmonics=N_HARMONICS)
+    )
 
 
 def build_record(duration_s: float, seed: int = 0) -> Tuple[np.ndarray, Dict]:
@@ -156,9 +168,7 @@ def main(argv=None) -> int:
             f"--duration must cover >= {2 * args.segment / FS:.1f} s"
         )
 
-    sep = SpectralMaskingSeparator(
-        n_fft_seconds=0.64, n_harmonics=N_HARMONICS,
-    )
+    sep = build_bench_separator()
     mixed, tracks = build_record(args.duration)
     n = mixed.size
     chunk_s = args.chunk / FS
@@ -222,7 +232,7 @@ def main(argv=None) -> int:
 
 def test_bench_streaming(benchmark):
     """pytest-benchmark entry point (explicit path collection only)."""
-    sep = SpectralMaskingSeparator(n_fft_seconds=0.64, n_harmonics=N_HARMONICS)
+    sep = build_bench_separator()
     mixed, tracks = build_record(30.0)
     t_off, offline = run_offline(sep, mixed, tracks)
     per_chunk, streamed, engine = benchmark.pedantic(

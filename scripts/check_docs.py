@@ -5,7 +5,9 @@ Verifies that
 1. the top-level ``README.md`` and ``docs/architecture.md`` exist;
 2. every re-export list (``__all__``) of the public packages resolves —
    a stale name in an ``__init__`` fails here, not in a user session;
-3. every dotted ``repro.*`` module path mentioned in the docs imports.
+3. every dotted ``repro.*`` module path mentioned in the docs imports;
+4. every separator name registered in ``repro.service`` appears in the
+   docs — registering a method without documenting it fails CI.
 
 Run:  PYTHONPATH=src python scripts/check_docs.py
 """
@@ -25,6 +27,7 @@ PUBLIC_PACKAGES = [
     "repro.core",
     "repro.pipeline",
     "repro.streaming",
+    "repro.service",
     "repro.baselines",
     "repro.metrics",
     "repro.synth",
@@ -82,8 +85,30 @@ def check_doc_references() -> list:
     return problems
 
 
+def check_registered_separators_documented() -> list:
+    """Every registered separator name must appear in the docs."""
+    from repro.service import available_separators
+
+    problems = []
+    corpus = "\n".join(doc.read_text() for doc in DOCS if doc.exists())
+    for name in available_separators():
+        # Whole-word match: 'repet' inside 'repet-ext' (or inside an
+        # ordinary word) must not count as documentation of 'repet'.
+        pattern = rf"(?<![\w-]){re.escape(name)}(?![\w-])"
+        if not re.search(pattern, corpus):
+            problems.append(
+                f"registered separator {name!r} is not mentioned in any "
+                f"of: {', '.join(d.name for d in DOCS)}"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_exports() + check_doc_references()
+    problems = (
+        check_exports()
+        + check_doc_references()
+        + check_registered_separators_documented()
+    )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if problems:

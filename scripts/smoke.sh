@@ -10,6 +10,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== separator conformance (smoke preset) =="
+REPRO_PRESET=smoke python -m pytest tests/service/test_conformance.py -q
+
 echo "== docs-check =="
 python scripts/check_docs.py
 

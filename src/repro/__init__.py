@@ -27,6 +27,10 @@ Subpackages
     resampling.
 ``repro.synth``
     Quasi-periodic signal generator and the paper's Table-1 mixtures.
+``repro.service``
+    The separator registry (named, spec-configured methods) and the
+    :class:`SeparationService` facade routing one configured method
+    through the offline, batch, or streaming execution path.
 ``repro.baselines``
     EMD, VMD, NMF, REPET(-Extended), spectral masking.
 ``repro.metrics``
@@ -39,7 +43,7 @@ Subpackages
     Runners regenerating every table and figure of the paper.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import errors
 from repro.config import available_presets, get_preset
@@ -67,6 +71,15 @@ from repro.pipeline import (
     stream_records,
 )
 from repro.separation import Separator
+from repro.service import (
+    SeparationOutcome,
+    SeparationService,
+    SeparatorSpec,
+    available_separators,
+    build_separator,
+    default_spec,
+    register_separator,
+)
 from repro.streaming import StreamingSeparator, stream_record
 
 __all__ = [
@@ -81,4 +94,7 @@ __all__ = [
     "ChunkResult", "StreamSession", "stream_records",
     "StreamingSeparator", "stream_record",
     "Separator",
+    "SeparationService", "SeparationOutcome", "SeparatorSpec",
+    "available_separators", "build_separator", "default_spec",
+    "register_separator",
 ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from repro.errors import ConfigurationError
+from repro.utils.naming import unknown_name_error
 
 #: Sampling frequency (Hz) of the synthesized dataset, per Sec. 4.1.
 SYNTH_SAMPLING_HZ = 100.0
@@ -107,9 +108,7 @@ def get_preset(name: str | None = None) -> Preset:
     try:
         return _PRESETS[name]
     except KeyError:
-        raise ConfigurationError(
-            f"unknown preset {name!r}; available: {sorted(_PRESETS)}"
-        ) from None
+        raise unknown_name_error("preset", name, _PRESETS) from None
 
 
 def available_presets() -> list:

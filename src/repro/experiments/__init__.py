@@ -3,10 +3,14 @@
 from repro.experiments.common import (
     ExperimentContext,
     TABLE2_METHOD_ORDER,
+    TABLE2_REGISTRY_NAMES,
     build_dhf,
     build_separators,
+    display_method_name,
+    method_service,
     run_separation_batch,
     run_streaming_batch,
+    table2_specs,
 )
 from repro.experiments.paper_reference import (
     PAPER_CLAIMS,
@@ -30,8 +34,10 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
-    "ExperimentContext", "TABLE2_METHOD_ORDER", "build_dhf",
-    "build_separators", "run_separation_batch", "run_streaming_batch",
+    "ExperimentContext", "TABLE2_METHOD_ORDER", "TABLE2_REGISTRY_NAMES",
+    "build_dhf", "build_separators", "display_method_name",
+    "method_service", "run_separation_batch", "run_streaming_batch",
+    "table2_specs",
     "PAPER_CLAIMS", "PAPER_FIG6_CORRELATION", "PAPER_LOW_POWER_CASES",
     "PAPER_TABLE2", "PAPER_TABLE2_AVERAGE",
     "Table1Result", "run_table1",

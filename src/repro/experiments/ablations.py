@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core import DHFConfig, DHFSeparator
 from repro.core.alignment import unwarp, warp_all_f0_tracks
 from repro.core.inpainting import InpaintingConfig, inpaint_spectrogram
 from repro.core.masking import (
@@ -185,9 +184,7 @@ def run_phase_policy_ablation(
     ).name
     scores: Dict[str, float] = {}
     for policy in ("auto", "cyclic", "observed"):
-        dhf = DHFSeparator(
-            DHFConfig.from_preset(context.preset, phase_policy=policy)
-        )
+        dhf = build_dhf(context.preset, phase_policy=policy)
         _LOG.info("phase ablation: %s", policy)
         estimates = dhf.separate(
             mixture.mixed, mixture.sampling_hz, mixture.f0_tracks

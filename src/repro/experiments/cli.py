@@ -6,6 +6,14 @@ Regenerate any paper artefact from the shell::
     python -m repro.experiments.cli figure6 --preset fast --seed 7
     python -m repro.experiments.cli all --preset smoke
 
+Methods come from the :mod:`repro.service` registry, so the harness can
+list them and run any of them by name or explicit spec::
+
+    python -m repro.experiments.cli methods
+    python -m repro.experiments.cli table2 --method emd --method dhf
+    python -m repro.experiments.cli table2 --spec '{"method": "vmd", "alpha": 900.0}'
+    python -m repro.experiments.cli table2 --spec @my_method.json
+
 The rendered table/series is printed to stdout; ``--output`` additionally
 writes it to a file.
 """
@@ -13,12 +21,16 @@ writes it to a file.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from dataclasses import MISSING, fields
 from typing import Callable, Dict
 
+from repro import errors
 from repro.config import available_presets
-from repro.experiments.common import ExperimentContext
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentContext, display_method_name
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.figure3 import run_figure3
@@ -31,6 +43,8 @@ from repro.experiments.ablations import (
     run_dilation_ablation,
     run_phase_policy_ablation,
 )
+from repro.service import SeparatorSpec, available_separators, separator_entry
+from repro.utils.tables import TextTable
 
 #: Artefact name -> runner taking an ExperimentContext.
 RUNNERS: Dict[str, Callable] = {
@@ -46,6 +60,78 @@ RUNNERS: Dict[str, Callable] = {
     "ablation-phase": run_phase_policy_ablation,
 }
 
+#: Commands that inspect the registry instead of running an experiment.
+COMMANDS = ("methods",)
+
+
+def render_methods() -> str:
+    """The registered separators, their spec fields, and defaults."""
+    table = TextTable(
+        ["name", "aliases", "spec", "fields (default)"],
+        title="Registered separators (repro.service)",
+    )
+    for name in available_separators():
+        entry = separator_entry(name)
+        merged = dict(entry.defaults)
+        field_cells = []
+        for f in fields(entry.spec_cls):
+            if f.name == "method":  # shown in the name column already
+                continue
+            if f.name in merged:
+                default = merged[f.name]
+            elif f.default is not MISSING:
+                default = f.default
+            else:
+                default = "<required>"
+            field_cells.append(f"{f.name}={default!r}")
+        table.add_row([
+            name,
+            ", ".join(entry.aliases) or "-",
+            entry.spec_cls.__name__,
+            ", ".join(field_cells),
+        ])
+    lines = [table.render(), ""]
+    for name in available_separators():
+        entry = separator_entry(name)
+        if entry.description:
+            lines.append(f"{name}: {entry.description}")
+    lines.append("")
+    lines.append(
+        "Run one with: python -m repro.experiments.cli table2 "
+        "--method <name>  (or --spec '<json>' / --spec @file.json)"
+    )
+    return "\n".join(lines)
+
+
+def load_spec_dict(raw: str) -> dict:
+    """``--spec`` value as a dict: inline JSON, or ``@path`` to a file."""
+    text = raw
+    if raw.startswith("@"):
+        try:
+            with open(raw[1:]) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"--spec file {raw[1:]!r} cannot be read ({exc})"
+            ) from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"--spec is not valid JSON ({exc}); pass an object like "
+            f'{{"method": "vmd", "alpha": 900.0}} or @path/to/spec.json'
+        ) from None
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"--spec must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def parse_spec_argument(raw: str) -> SeparatorSpec:
+    """The validated :class:`SeparatorSpec` a ``--spec`` value names."""
+    return SeparatorSpec.from_dict(load_spec_dict(raw))
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -54,8 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artefact",
-        choices=sorted(RUNNERS) + ["all"],
-        help="which paper artefact to regenerate",
+        choices=sorted(RUNNERS) + ["all"] + list(COMMANDS),
+        help="which paper artefact to regenerate, or 'methods' to list "
+             "the registered separators",
     )
     parser.add_argument(
         "--preset", default="smoke", choices=available_presets(),
@@ -65,25 +152,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2024, help="reproducibility seed",
     )
     parser.add_argument(
+        "--method", action="append", default=None, metavar="NAME",
+        help="run only this registered method (table2; repeatable — "
+             "see the 'methods' artefact for names)",
+    )
+    parser.add_argument(
+        "--spec", action="append", default=None, metavar="JSON",
+        help="run a custom separator spec through table2: inline JSON "
+             "or @path to a JSON file (repeatable)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="optional path to also write the rendered output to",
     )
     return parser
 
 
-def run_one(name: str, context: ExperimentContext) -> str:
+def run_one(name: str, context: ExperimentContext, **kwargs) -> str:
     """Run one artefact and return its rendered report."""
     start = time.time()
-    result = RUNNERS[name](context)
+    result = RUNNERS[name](context, **kwargs)
     elapsed = time.time() - start
     return f"## {name} ({elapsed:.1f}s)\n\n{result.render()}"
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.artefact == "methods":
+        text = render_methods()
+        print(text)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+        return 0
+
+    table2_kwargs = {}
+    if args.method or args.spec:
+        if args.artefact != "table2":
+            raise ConfigurationError(
+                "--method/--spec select methods for table2; run "
+                "'table2 --method ...' (got artefact "
+                f"{args.artefact!r})"
+            )
+        if args.method:
+            # Resolve now so typos fail fast with a did-you-mean.
+            table2_kwargs["methods"] = tuple(
+                display_method_name(name) for name in args.method
+            )
+        else:
+            table2_kwargs["methods"] = ()  # custom specs only
+        if args.spec:
+            specs = {}
+            for raw in args.spec:
+                data = load_spec_dict(raw)
+                spec = SeparatorSpec.from_dict(data)
+                # Label by the *requested* name so an entry like
+                # repet-ext keeps its own column heading even though its
+                # spec dispatches through the shared repet spec class.
+                requested = str(data.get("method", spec.method))
+                label = f"{display_method_name(requested)} (spec)"
+                if label in specs:
+                    label = f"{label} #{len(specs)}"
+                specs[label] = spec
+            table2_kwargs["specs"] = specs
+
     context = ExperimentContext.from_name(args.preset, seed=args.seed)
     names = sorted(RUNNERS) if args.artefact == "all" else [args.artefact]
-    reports = [run_one(name, context) for name in names]
+    reports = [
+        run_one(
+            name, context,
+            **(table2_kwargs if name == "table2" else {}),
+        )
+        for name in names
+    ]
     text = "\n\n".join(reports)
     print(text)
     if args.output:
@@ -93,4 +235,10 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except errors.ReproError as exc:
+        # Shell users get the message (did-you-mean and all), not a
+        # traceback; programmatic callers of main() still see the raise.
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

@@ -6,79 +6,173 @@ same code path serves both paper-scale runs (``full``) and CI-scale runs
 (``fast``/``smoke``), and each embeds the paper's reported values for
 side-by-side comparison in its rendered output.
 
-Record sets are processed in batch: :func:`records_from_mixtures` turns
-Table 1 mixtures into scored :class:`repro.pipeline.SeparationRecord`
-objects and :func:`run_separation_batch` pushes them through a
-:class:`repro.pipeline.SeparationPipeline`, so every runner benefits
-from vectorized ``separate_batch`` implementations, shared STFT plans,
-and optional worker pools.
+Methods are named, never hand-constructed: every separator the runners
+touch comes out of the :mod:`repro.service` registry as a
+:class:`repro.service.SeparatorSpec` (see :func:`table2_specs`), and
+execution goes through a :class:`repro.service.SeparationService` —
+:func:`run_separation_batch` for the offline batch pipeline,
+:func:`run_streaming_batch` for the chunked live-feed path — so every
+runner benefits from vectorized ``separate_batch`` implementations,
+shared STFT plans, and optional worker pools, and any separator
+registered by a plugin is runnable by name.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.baselines import (
-    EMDSeparator,
-    NMFSeparator,
-    REPETSeparator,
-    SpectralMaskingSeparator,
-    VMDSeparator,
-)
 from repro.config import Preset, get_preset
-from repro.core import DHFConfig, DHFSeparator
-from repro.core.inpainting import InpaintingConfig
-from repro.pipeline import (
-    BatchResult,
-    SeparationPipeline,
-    SeparationRecord,
-    stream_records,
-)
+from repro.errors import ConfigurationError
+from repro.pipeline import BatchResult, SeparationRecord
 from repro.separation import Separator
+from repro.service import (
+    DHFSpec,
+    SeparationService,
+    SeparatorSpec,
+    build_separator,
+    default_spec,
+    separator_entry,
+)
 from repro.synth import make_mixture
 
-#: Method display order of Table 2.
+#: Method display order of Table 2 (paper spellings).
 TABLE2_METHOD_ORDER = (
     "EMD", "VMD", "NMF", "REPET", "REPET-Ext.", "Spect. Masking", "DHF",
 )
 
+#: Table 2 display name -> registry name.
+TABLE2_REGISTRY_NAMES = {
+    "EMD": "emd",
+    "VMD": "vmd",
+    "NMF": "nmf",
+    "REPET": "repet",
+    "REPET-Ext.": "repet-ext",
+    "Spect. Masking": "spectral-masking",
+    "DHF": "dhf",
+}
 
-def build_dhf(preset: Preset, **overrides) -> DHFSeparator:
-    """A DHF separator configured from a preset."""
-    return DHFSeparator(DHFConfig.from_preset(preset, **overrides))
+#: Anything runner APIs accept as a method: a display/registry name, a
+#: spec, a prebuilt separator, or a configured service.
+MethodLike = Union[str, SeparatorSpec, Separator, SeparationService]
+
+
+def display_method_name(name: str) -> str:
+    """Resolve any registered name/alias to its Table 2 display spelling.
+
+    Methods outside the Table 2 line-up (plugins) display under their
+    canonical registry name.
+    """
+    canonical = separator_entry(name).name
+    for display, registry_name in TABLE2_REGISTRY_NAMES.items():
+        if registry_name == canonical:
+            return display
+    return canonical
+
+
+def build_dhf(preset: Preset, **overrides) -> "Separator":
+    """A DHF separator configured from a preset, via the registry."""
+    return build_separator(DHFSpec.from_preset(preset, **overrides))
+
+
+def table2_specs(
+    preset: Preset,
+    include: Optional[Sequence[str]] = None,
+) -> Dict[str, SeparatorSpec]:
+    """The Table 2 line-up as specs, keyed by display name.
+
+    Parameters
+    ----------
+    preset:
+        Scales the DHF spec (signal durations and deep-prior budgets);
+        baseline specs are preset-independent, as in the paper.
+    include:
+        Optional subset of method names — display spellings or registry
+        names/aliases of *any* registered method, so plugin separators
+        join the table by name (listed after the standard line-up).
+        Unregistered names raise
+        :class:`repro.errors.ConfigurationError` with a did-you-mean
+        suggestion.
+    """
+    wanted: Optional[set] = None
+    extras: List[str] = []  # registered methods outside the line-up
+    if include is not None:
+        wanted = set()
+        for name in include:
+            if name in TABLE2_REGISTRY_NAMES:
+                wanted.add(name)
+                continue
+            canonical = separator_entry(name).name  # raises w/ suggestion
+            display = display_method_name(canonical)
+            if display in TABLE2_REGISTRY_NAMES:
+                wanted.add(display)
+            elif display not in extras:
+                extras.append(display)
+    specs: Dict[str, SeparatorSpec] = {}
+    for display in TABLE2_METHOD_ORDER:
+        if wanted is not None and display not in wanted:
+            continue
+        registry_name = TABLE2_REGISTRY_NAMES[display]
+        if registry_name == "dhf":
+            specs[display] = DHFSpec.from_preset(preset)
+        else:
+            specs[display] = default_spec(registry_name)
+    for display in extras:
+        specs[display] = default_spec(display)
+    return specs
 
 
 def build_separators(
     preset: Preset,
     include: Optional[tuple] = None,
 ) -> Dict[str, Separator]:
-    """The Table 2 line-up scaled to a preset.
-
-    Parameters
-    ----------
-    preset:
-        Controls signal durations and deep-prior budgets.
-    include:
-        Optional subset of method names (paper spellings) to build.
-    """
-    methods: Dict[str, Separator] = {}
-    candidates: Dict[str, Separator] = {
-        "EMD": EMDSeparator(),
-        "VMD": VMDSeparator(),
-        "NMF": NMFSeparator(),
-        "REPET": REPETSeparator(extended=False),
-        "REPET-Ext.": REPETSeparator(extended=True),
-        "Spect. Masking": SpectralMaskingSeparator(),
-        "DHF": build_dhf(preset),
+    """The Table 2 line-up scaled to a preset (built from the registry)."""
+    return {
+        name: build_separator(spec)
+        for name, spec in table2_specs(preset, include=include).items()
     }
-    for name in TABLE2_METHOD_ORDER:
-        if include is not None and name not in include:
-            continue
-        methods[name] = candidates[name]
-    return methods
+
+
+def method_service(
+    method: MethodLike,
+    workers: int = 0,
+    executor: str = "thread",
+    postprocess: Optional[Callable] = None,
+) -> SeparationService:
+    """Build a :class:`SeparationService` for any method description.
+
+    The caller owns (and should close) the returned service; pass an
+    existing service straight to the runner helpers instead of routing
+    it through here.
+    """
+    return SeparationService(
+        method, workers=workers, executor=executor, postprocess=postprocess,
+    )
+
+
+def _reject_service_overrides(
+    workers: int = 0, executor: str = "thread", postprocess=None,
+) -> None:
+    """Raise if execution-policy kwargs accompany a prebuilt service.
+
+    A :class:`SeparationService` already owns its workers/executor/
+    postprocess; accepting overrides here would silently drop them.
+    """
+    overridden = [
+        name for name, given, default in (
+            ("workers", workers, 0),
+            ("executor", executor, "thread"),
+            ("postprocess", postprocess, None),
+        ) if given != default
+    ]
+    if overridden:
+        raise ConfigurationError(
+            f"{', '.join(overridden)} cannot be overridden when passing "
+            f"an already configured SeparationService; set them on the "
+            f"service instead"
+        )
 
 
 def records_from_mixtures(
@@ -129,22 +223,34 @@ def records_from_mixtures(
 
 
 def run_separation_batch(
-    separator: Separator,
+    method: MethodLike,
     records: Sequence[SeparationRecord],
     workers: int = 0,
     executor: str = "thread",
     postprocess: Optional[Callable] = None,
 ) -> BatchResult:
-    """Run one method over a record set through the batch pipeline."""
-    pipeline = SeparationPipeline(
-        separator, workers=workers, executor=executor,
-        postprocess=postprocess,
-    )
-    return pipeline.run(records)
+    """Run one method over a record set through the batch pipeline.
+
+    ``method`` may be a registry name, a spec, a prebuilt separator, or
+    an already configured :class:`SeparationService`; execution goes
+    through :meth:`SeparationService.separate_batch`.  A preconfigured
+    service carries its own execution policy, so combining one with
+    ``workers``/``executor``/``postprocess`` here is rejected rather
+    than silently ignored.
+    """
+    if isinstance(method, SeparationService):
+        _reject_service_overrides(
+            workers=workers, executor=executor, postprocess=postprocess,
+        )
+        return method.separate_batch(records).batch
+    with method_service(
+        method, workers=workers, executor=executor, postprocess=postprocess,
+    ) as service:
+        return service.separate_batch(records).batch
 
 
 def run_streaming_batch(
-    separator: Separator,
+    method: MethodLike,
     records: Sequence[SeparationRecord],
     segment_seconds: float,
     overlap_seconds: float,
@@ -155,23 +261,35 @@ def run_streaming_batch(
     """Stream a record set chunk by chunk (the live-feed scenario).
 
     Thin seconds-based wrapper over
-    :func:`repro.pipeline.stream_records`: every record becomes one
+    :meth:`SeparationService.stream_batch`: every record becomes one
     subject of a :class:`repro.pipeline.StreamSession`, chunks of
     ``chunk_seconds`` are pushed round-robin, and the stitched estimates
     are scored with the same rules as :func:`run_separation_batch` — so
     offline and streaming numbers are directly comparable.
     """
     records = list(records)
-    if not records:
-        return BatchResult(results=[], separator_name=separator.name)
-    rate = records[0].sampling_hz
-    return stream_records(
-        separator, records,
-        segment_samples=max(1, int(round(segment_seconds * rate))),
-        overlap_samples=max(1, int(round(overlap_seconds * rate))),
-        chunk_samples=max(1, int(round(chunk_seconds * rate))),
-        workers=workers, postprocess=postprocess,
-    )
+
+    def run(service: SeparationService) -> BatchResult:
+        if not records:
+            return BatchResult(
+                results=[], separator_name=service.separator.name
+            )
+        rate = records[0].sampling_hz
+        outcome = service.stream_batch(
+            records,
+            segment_samples=max(1, int(round(segment_seconds * rate))),
+            overlap_samples=max(1, int(round(overlap_seconds * rate))),
+            chunk_samples=max(1, int(round(chunk_seconds * rate))),
+        )
+        return outcome.batch
+
+    if isinstance(method, SeparationService):
+        _reject_service_overrides(workers=workers, postprocess=postprocess)
+        return run(method)
+    with method_service(
+        method, workers=workers, postprocess=postprocess,
+    ) as service:
+        return run(service)
 
 
 @dataclass

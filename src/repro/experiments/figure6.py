@@ -14,8 +14,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.baselines import SpectralMaskingSeparator
 from repro.experiments.common import ExperimentContext, build_dhf
+from repro.service import build_separator
 from repro.experiments.paper_reference import PAPER_FIG6_CORRELATION
 from repro.metrics import correlation_error, correlation_error_improvement
 from repro.tfo import (
@@ -92,7 +92,7 @@ def run_figure6(
         duration_s = 4.0 * context.duration_s
     sheep = sheep or sheep_names()
     methods = {
-        "Spect. Masking": SpectralMaskingSeparator(),
+        "Spect. Masking": build_separator("spectral-masking"),
         "DHF": build_dhf(context.preset),
     }
     correlations: Dict[str, Dict[str, float]] = {}

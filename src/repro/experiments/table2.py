@@ -18,11 +18,11 @@ from repro.config import SCORING_BAND_HZ
 from repro.dsp.filters import bandpass_filter
 from repro.experiments.common import (
     ExperimentContext,
-    TABLE2_METHOD_ORDER,
-    build_separators,
     records_from_mixtures,
     run_separation_batch,
+    table2_specs,
 )
+from repro.service import SeparatorSpec
 from repro.experiments.paper_reference import (
     PAPER_LOW_POWER_CASES,
     PAPER_TABLE2,
@@ -134,10 +134,17 @@ def run_table2(
     context: Optional[ExperimentContext] = None,
     mixtures: Optional[List[str]] = None,
     methods: Optional[Tuple[str, ...]] = None,
+    specs: Optional[Dict[str, SeparatorSpec]] = None,
     workers: int = 0,
     executor: str = "thread",
 ) -> Table2Result:
-    """Run the Table 2 comparison, one batch-pipeline pass per method.
+    """Run the Table 2 comparison, one service batch pass per method.
+
+    Every method is resolved through the :mod:`repro.service` registry
+    to a :class:`repro.service.SeparatorSpec` and executed by a
+    :class:`repro.service.SeparationService` — no separator is
+    constructed directly, so any registered method (including plugins)
+    slots into the table.
 
     Parameters
     ----------
@@ -146,7 +153,13 @@ def run_table2(
     mixtures:
         Subset of mixture names (default: all five).
     methods:
-        Subset of method names in paper spelling (default: all seven).
+        Subset of method names — paper spellings or registry names
+        (default: all seven).
+    specs:
+        Extra or overriding ``{column label: SeparatorSpec}`` entries
+        appended to (or replacing, on label collision) the standard
+        line-up; this is how the CLI's ``--spec`` flag injects a custom
+        configuration.
     workers:
         Worker-pool size per method batch (``0`` = serial, which also
         enables vectorized ``separate_batch`` fast paths).
@@ -155,7 +168,11 @@ def run_table2(
     """
     context = context or ExperimentContext.from_name()
     mixtures = mixtures or mixture_names()
-    separators = build_separators(context.preset, include=methods)
+    # methods=() runs none of the standard line-up (custom specs only).
+    line_up = table2_specs(context.preset, include=methods)
+    if specs:
+        for label, spec in specs.items():
+            line_up[str(label)] = spec
 
     # The paper scores band-pass-filtered signals; both references (at
     # record-building time) and estimates (pipeline postprocess) pass
@@ -169,10 +186,10 @@ def run_table2(
         mixtures, context, reference_filter=to_band,
     )
     scores: Dict[str, Dict[CaseKey, Tuple[float, float]]] = {}
-    for method_name, separator in separators.items():
+    for method_name, spec in line_up.items():
         _LOG.info("table2: %s on %d mixture(s)", method_name, len(records))
         batch = run_separation_batch(
-            separator, records, workers=workers, executor=executor,
+            spec, records, workers=workers, executor=executor,
             postprocess=lambda est, record: to_band(est, record.sampling_hz),
         )
         scores[method_name] = batch.case_scores()

@@ -17,7 +17,7 @@ both executors work out of the box.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -289,6 +289,12 @@ class SeparationPipeline:
     score:
         If true (default), records carrying ``references`` get per-source
         ``(sdr_db, mse)`` scores.
+    pool:
+        Optional externally owned :class:`concurrent.futures.Executor`
+        used instead of building a pool per :meth:`run` call (the
+        :class:`repro.service.SeparationService` facade shares one pool
+        across batch and streaming calls this way).  The pipeline never
+        shuts an external pool down; ignored when ``workers <= 1``.
     """
 
     def __init__(
@@ -298,6 +304,7 @@ class SeparationPipeline:
         executor: str = "thread",
         postprocess: Optional[Postprocess] = None,
         score: bool = True,
+        pool: Optional[Executor] = None,
     ):
         if not isinstance(separator, Separator):
             raise ConfigurationError(
@@ -309,11 +316,17 @@ class SeparationPipeline:
             raise ConfigurationError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
             )
+        if pool is not None and not isinstance(pool, Executor):
+            raise ConfigurationError(
+                f"pool must be a concurrent.futures.Executor, got "
+                f"{type(pool).__name__}"
+            )
         self.separator = separator
         self.workers = int(workers)
         self.executor = executor
         self.postprocess = postprocess or _identity_postprocess
         self.score = score
+        self.pool = pool
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -359,6 +372,12 @@ class SeparationPipeline:
                 records[0].sampling_hz,
                 [r.f0_tracks for r in records],
             )
+        if self.pool is not None:
+            futures = [
+                self.pool.submit(_separate_one, self.separator, record)
+                for record in records
+            ]
+            return [f.result() for f in futures]
         pool_cls = (
             ThreadPoolExecutor if self.executor == "thread"
             else ProcessPoolExecutor

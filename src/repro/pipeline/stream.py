@@ -100,9 +100,15 @@ class StreamSession:
         Forwarded to every subject's engine; pass ``False`` on
         indefinitely-lived sessions so per-segment span bookkeeping does
         not grow without bound.
+    pool:
+        Optional externally owned
+        :class:`concurrent.futures.ThreadPoolExecutor` used for fan-out
+        instead of building one (shared-pool mode of
+        :class:`repro.service.SeparationService`).  Never shut down by
+        the session; ignored when ``workers <= 1``.
 
     The session is a context manager; leaving the ``with`` block shuts
-    the pool down.
+    the pool down (external pools excepted).
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class StreamSession:
         workers: int = 0,
         executor: str = "thread",
         record_spans: bool = True,
+        pool: Optional[ThreadPoolExecutor] = None,
     ):
         if not isinstance(separator, Separator):
             raise ConfigurationError(
@@ -134,8 +141,14 @@ class StreamSession:
         self.workers = int(workers)
         self.executor = executor
         self.record_spans = bool(record_spans)
+        if pool is not None and not isinstance(pool, ThreadPoolExecutor):
+            raise ConfigurationError(
+                f"pool must be a ThreadPoolExecutor, got "
+                f"{type(pool).__name__}"
+            )
         self._engines: Dict[str, "StreamingSeparator"] = {}
         self._indices: Dict[str, int] = {}
+        self._external_pool = pool
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
@@ -242,11 +255,14 @@ class StreamSession:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._external_pool is not None:
+            return self._external_pool
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
 
     def close(self) -> None:
+        """Shut down the session-owned pool (external pools are left up)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -274,6 +290,7 @@ def stream_records(
     workers: int = 0,
     postprocess: Optional[Callable] = None,
     score: bool = True,
+    pool: Optional[ThreadPoolExecutor] = None,
 ) -> BatchResult:
     """Stream a record set chunk by chunk and score like the batch pipeline.
 
@@ -308,7 +325,7 @@ def stream_records(
 
     with StreamSession(
         separator, records[0].sampling_hz, segment_samples, overlap_samples,
-        workers=workers,
+        workers=workers, pool=pool,
     ) as session:
         for name in names:
             session.add_subject(name)

@@ -1,0 +1,410 @@
+"""The :class:`SeparationService` facade: one front door, three modes.
+
+The repo grew three parallel entry points — per-record
+``Separator.separate``, the batched
+:class:`repro.pipeline.SeparationPipeline`, and the streaming
+:class:`repro.streaming.StreamingSeparator` /
+:class:`repro.pipeline.StreamSession`.  The service puts one declarative
+API in front of all of them: configure a method once (by registry name,
+:class:`repro.service.SeparatorSpec`, or spec dict) and execute it in
+any mode::
+
+    with SeparationService("spectral-masking", workers=4) as service:
+        one   = service.separate(record)               # offline
+        many  = service.separate_batch(records)        # batch pipeline
+        live  = service.stream(record, chunk_samples=100,
+                               segment_samples=1000, overlap_samples=450)
+
+Every mode returns a :class:`SeparationOutcome` wrapping the layer's
+native result (``RecordResult`` / :class:`repro.pipeline.BatchResult` /
+:class:`repro.pipeline.ChunkResult` list, plus
+:class:`repro.core.DHFResult` diagnostics when the method provides
+them), and every mode shares the same substrate: the process-wide
+:mod:`repro.dsp.plan` STFT-plan cache and one lazily created worker pool
+owned by the service (so batch and streaming fan-out reuse threads
+instead of rebuilding pools per call).
+
+Routing is thin by design — ``separate`` calls the separator directly,
+``separate_batch`` builds on :class:`repro.pipeline.SeparationPipeline`,
+``stream`` on :class:`repro.pipeline.StreamSession` — so service results
+are *identical* to the direct APIs, and all scoring goes through the
+shared :func:`repro.pipeline.batch.finalize_record`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pipeline.batch import (
+    BatchResult,
+    Postprocess,
+    RecordResult,
+    SeparationPipeline,
+    SeparationRecord,
+    finalize_record,
+)
+from repro.pipeline.stream import ChunkResult, StreamSession, stream_records
+from repro.separation import Separator
+from repro.service.registry import SpecLike, build_separator, resolve_spec
+from repro.service.specs import SeparatorSpec
+from repro.utils.validation import check_positive_int
+
+#: Modes a :class:`SeparationOutcome` can report.
+MODES = ("offline", "batch", "stream")
+
+
+@dataclass
+class SeparationOutcome:
+    """Unified result of one service call, whatever the mode.
+
+    Exactly one of ``record`` (offline / single-record stream) or
+    ``batch`` (batch / multi-record stream) carries the estimates;
+    ``chunks`` additionally holds the per-push
+    :class:`repro.pipeline.ChunkResult` trail of streaming calls and
+    ``detail`` method-specific diagnostics (a
+    :class:`repro.core.DHFResult` for DHF offline runs).
+    """
+
+    separator_name: str
+    spec: Optional[SeparatorSpec]
+    mode: str
+    record: Optional[RecordResult] = None
+    batch: Optional[BatchResult] = None
+    chunks: List[ChunkResult] = field(default_factory=list)
+    detail: Any = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if (self.record is None) == (self.batch is None):
+            raise ConfigurationError(
+                "outcome needs exactly one of record= or batch="
+            )
+
+    @property
+    def estimates(self) -> Dict[str, np.ndarray]:
+        """Per-source estimates of a single-record outcome."""
+        if self.record is None:
+            raise ConfigurationError(
+                "estimates is only defined for single-record outcomes; "
+                "use .batch for batch results"
+            )
+        return self.record.estimates
+
+    @property
+    def scores(self) -> Dict[str, Tuple[float, float]]:
+        """``{source: (sdr_db, mse)}`` of a single-record outcome."""
+        if self.record is None:
+            raise ConfigurationError(
+                "scores is only defined for single-record outcomes; "
+                "use .batch for batch results"
+            )
+        return self.record.scores
+
+    def summary(self) -> Dict[str, Tuple[float, float]]:
+        """Paper-style per-source aggregate of the wrapped results."""
+        if self.batch is not None:
+            return self.batch.summary()
+        batch = BatchResult(
+            results=[self.record], separator_name=self.separator_name
+        )
+        return batch.summary()
+
+    def __repr__(self) -> str:
+        inner = (
+            f"records={len(self.batch)}" if self.batch is not None
+            else f"sources={list(self.record.estimates)}"
+        )
+        return (
+            f"SeparationOutcome(method={self.separator_name!r}, "
+            f"mode={self.mode!r}, {inner})"
+        )
+
+
+def as_record(
+    record: Union[SeparationRecord, Mapping[str, Any], None] = None,
+    mixed=None,
+    sampling_hz: Optional[float] = None,
+    f0_tracks: Optional[Mapping[str, np.ndarray]] = None,
+    name: str = "",
+    references: Optional[Mapping[str, np.ndarray]] = None,
+) -> SeparationRecord:
+    """Coerce service inputs into one :class:`SeparationRecord`.
+
+    Accepts a ready record, a mapping of record fields, or the raw
+    ``mixed`` / ``sampling_hz`` / ``f0_tracks`` triple — but not both at
+    once: field keywords alongside a ready record would be silently
+    ignored, so they raise instead.
+    """
+    if record is not None:
+        given = {
+            name: value for name, value in (
+                ("mixed", mixed), ("sampling_hz", sampling_hz),
+                ("f0_tracks", f0_tracks), ("name", name or None),
+                ("references", references),
+            ) if value is not None
+        }
+        if given:
+            raise ConfigurationError(
+                f"pass either a record or record fields, not both "
+                f"(got record plus {sorted(given)})"
+            )
+    if isinstance(record, SeparationRecord):
+        return record
+    if isinstance(record, Mapping):
+        return SeparationRecord(**record)
+    if record is not None:
+        raise ConfigurationError(
+            f"record must be a SeparationRecord or mapping, got "
+            f"{type(record).__name__}"
+        )
+    if mixed is None or sampling_hz is None or f0_tracks is None:
+        raise ConfigurationError(
+            "pass a SeparationRecord or all of mixed=, sampling_hz= and "
+            "f0_tracks="
+        )
+    return SeparationRecord(
+        mixed=mixed, sampling_hz=sampling_hz, f0_tracks=f0_tracks,
+        name=name, references=references,
+    )
+
+
+class SeparationService:
+    """Mode-routing facade over one configured separation method.
+
+    Parameters
+    ----------
+    method:
+        Registry name, :class:`SeparatorSpec`, spec dict, or an already
+        built :class:`repro.separation.Separator` (the escape hatch for
+        hand-constructed instances; such services have ``spec=None``).
+    workers:
+        Worker fan-out shared by batch and streaming calls.  ``0``/``1``
+        runs serially (batch mode then uses vectorized
+        ``separate_batch`` hooks); ``> 1`` fans out over one pool owned
+        by the service and reused across calls.
+    executor:
+        ``"thread"`` (default) or ``"process"``.  Streaming always uses
+        threads; a process pool is built per batch call since worker
+        processes cannot outlive their executor cheaply.
+    postprocess:
+        Optional ``f(estimate, record) -> estimate`` applied before
+        scoring in every mode (e.g. the paper's scoring-band filter).
+    score:
+        Score records that carry ``references`` (default true).
+
+    The service is a context manager; leaving the ``with`` block shuts
+    down the shared pool.
+    """
+
+    def __init__(
+        self,
+        method: Union[SpecLike, Separator],
+        workers: int = 0,
+        executor: str = "thread",
+        postprocess: Optional[Postprocess] = None,
+        score: bool = True,
+    ):
+        if isinstance(method, Separator):
+            self.spec: Optional[SeparatorSpec] = None
+            self.separator = method
+        else:
+            self.spec = resolve_spec(method)
+            self.separator = build_separator(self.spec)
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.workers = int(workers)
+        self.executor = executor
+        self.postprocess = postprocess
+        self.score = bool(score)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Mode routing
+    # ------------------------------------------------------------------ #
+    def separate(
+        self,
+        record: Union[SeparationRecord, Mapping[str, Any], None] = None,
+        detailed: bool = False,
+        **record_fields,
+    ) -> SeparationOutcome:
+        """Offline mode: one record through ``Separator.separate``.
+
+        ``detailed=True`` additionally captures the method's diagnostic
+        result (``separate_detailed``, when the separator provides it —
+        DHF's per-round masks, losses, and residual) on
+        :attr:`SeparationOutcome.detail`.
+        """
+        rec = as_record(record, **record_fields)
+        detail = None
+        if detailed and hasattr(self.separator, "separate_detailed"):
+            detail = self.separator.separate_detailed(
+                rec.mixed, rec.sampling_hz, rec.f0_tracks,
+                reference_sources=rec.references,
+            )
+            estimates = detail.estimates
+        else:
+            estimates = self.separator.separate(
+                rec.mixed, rec.sampling_hz, rec.f0_tracks
+            )
+        result = finalize_record(
+            self.separator.name, rec, estimates,
+            postprocess=self.postprocess, score=self.score,
+        )
+        return SeparationOutcome(
+            separator_name=self.separator.name, spec=self.spec,
+            mode="offline", record=result, detail=detail,
+        )
+
+    def separate_batch(
+        self, records: Sequence[SeparationRecord]
+    ) -> SeparationOutcome:
+        """Batch mode: a record set through the
+        :class:`repro.pipeline.SeparationPipeline`."""
+        pipeline = SeparationPipeline(
+            self.separator, workers=self.workers, executor=self.executor,
+            postprocess=self.postprocess, score=self.score,
+            pool=self._shared_pool(),
+        )
+        batch = pipeline.run(records)
+        return SeparationOutcome(
+            separator_name=self.separator.name, spec=self.spec,
+            mode="batch", batch=batch,
+        )
+
+    def stream(
+        self,
+        record: Union[SeparationRecord, Mapping[str, Any], None] = None,
+        chunk_samples: Optional[int] = None,
+        segment_samples: Optional[int] = None,
+        overlap_samples: Optional[int] = None,
+        **record_fields,
+    ) -> SeparationOutcome:
+        """Streaming mode: one record chunked through a
+        :class:`repro.pipeline.StreamSession`.
+
+        Defaults make streaming degenerate *exactly* to the offline
+        path: ``segment_samples`` defaults to the whole record (a single
+        analysis segment, no cross-fades), ``overlap_samples`` to a
+        quarter segment, and ``chunk_samples`` to one second of signal.
+        Pass explicit values for genuine bounded-latency operation; the
+        per-push :class:`repro.pipeline.ChunkResult` trail is kept on
+        the outcome either way.
+        """
+        rec = as_record(record, **record_fields)
+        # `is None` (not falsy-or): an explicit 0 must reach the engine's
+        # own validation and raise, not be silently replaced.
+        segment = int(
+            rec.n_samples if segment_samples is None else segment_samples
+        )
+        overlap = int(
+            max(1, segment // 4) if overlap_samples is None
+            else overlap_samples
+        )
+        chunk = (
+            max(1, round(rec.sampling_hz)) if chunk_samples is None
+            else check_positive_int(chunk_samples, "chunk_samples")
+        )
+        subject = rec.name or "record0"
+        chunks: List[ChunkResult] = []
+        parts: Dict[str, List[np.ndarray]] = {}
+        # workers/pool are forwarded for consistency with the other
+        # modes; with a single subject the session runs its pushes
+        # serially either way.
+        with StreamSession(
+            self.separator, rec.sampling_hz, segment, overlap,
+            workers=self.workers if self.executor == "thread" else 0,
+            pool=self._shared_pool(),
+        ) as session:
+            session.add_subject(subject)
+            for start in range(0, rec.n_samples, chunk):
+                stop = min(rec.n_samples, start + chunk)
+                result = session.push(
+                    subject, rec.mixed[start:stop],
+                    {
+                        s: np.asarray(t)[start:stop]
+                        for s, t in rec.f0_tracks.items()
+                    },
+                )
+                chunks.append(result)
+            chunks.append(session.flush(subject))
+        for chunk_result in chunks:
+            for source, est in chunk_result.estimates.items():
+                parts.setdefault(source, []).append(est)
+        estimates = {
+            source: np.concatenate(pieces) for source, pieces in parts.items()
+        }
+        result = finalize_record(
+            self.separator.name, rec, estimates,
+            postprocess=self.postprocess, score=self.score,
+        )
+        return SeparationOutcome(
+            separator_name=self.separator.name, spec=self.spec,
+            mode="stream", record=result, chunks=chunks,
+        )
+
+    def stream_batch(
+        self,
+        records: Sequence[SeparationRecord],
+        segment_samples: int,
+        overlap_samples: int,
+        chunk_samples: int,
+    ) -> SeparationOutcome:
+        """Streaming mode over a record set (round-robin live feeds),
+        via :func:`repro.pipeline.stream_records`."""
+        batch = stream_records(
+            self.separator, records,
+            segment_samples=segment_samples,
+            overlap_samples=overlap_samples,
+            chunk_samples=chunk_samples,
+            workers=self.workers, postprocess=self.postprocess,
+            score=self.score, pool=self._shared_pool(),
+        )
+        return SeparationOutcome(
+            separator_name=self.separator.name, spec=self.spec,
+            mode="stream", batch=batch,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared worker pool
+    # ------------------------------------------------------------------ #
+    def _shared_pool(self) -> Optional[ThreadPoolExecutor]:
+        """The service-owned thread pool (lazily created), or ``None``.
+
+        Process executors are excluded: worker processes are built per
+        batch call by the pipeline itself.
+        """
+        if self.workers <= 1 or self.executor != "thread":
+            return None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SeparationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        spec = f"spec={self.spec!r}" if self.spec is not None else "spec=None"
+        return (
+            f"SeparationService(method={self.separator.name!r}, {spec}, "
+            f"workers={self.workers}, executor={self.executor!r})"
+        )

@@ -18,6 +18,7 @@ from repro.config import SYNTH_SAMPLING_HZ
 from repro.errors import ConfigurationError
 from repro.synth.noise import white_noise
 from repro.synth.quasiperiodic import QuasiPeriodicSignal, generate_random_source
+from repro.utils.naming import unknown_name_error
 from repro.utils.seeding import as_generator, spawn_generators, stable_hash_seed
 
 
@@ -173,9 +174,7 @@ def get_mixture_spec(name: str) -> MixtureSpec:
     try:
         return MSIG_SPECS[name.lower()]
     except KeyError:
-        raise ConfigurationError(
-            f"unknown mixture {name!r}; available: {mixture_names()}"
-        ) from None
+        raise unknown_name_error("mixture", name, MSIG_SPECS) from None
 
 
 def make_mixture(

@@ -10,6 +10,7 @@ from repro.utils.validation import (
     check_probability,
     check_same_length,
 )
+from repro.utils.naming import closest_name, unknown_name_error
 from repro.utils.seeding import as_generator, spawn_generators
 from repro.utils.tables import TextTable, format_float, render_kv_block
 from repro.utils.logging import get_logger
@@ -23,6 +24,8 @@ __all__ = [
     "check_positive_int",
     "check_probability",
     "check_same_length",
+    "closest_name",
+    "unknown_name_error",
     "as_generator",
     "spawn_generators",
     "TextTable",

@@ -1,0 +1,46 @@
+"""Name-lookup helpers shared by every registry-style mapping.
+
+Whenever a user-supplied name (preset, separator, mixture, ...) misses a
+registry, the error should list the valid names and — when the miss
+looks like a typo — suggest the closest match.  Centralising the
+message format here keeps "unknown X" errors identical across the
+package.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+
+
+def closest_name(name: str, candidates: Iterable[str]) -> Optional[str]:
+    """The candidate most similar to ``name``, or ``None`` if none is close.
+
+    Case-insensitive: ``"DHF"`` suggests ``"dhf"``.  The 0.5 cutoff is
+    loose enough to catch one-edit typos of short names (``"smok"`` →
+    ``"smoke"``) while rejecting unrelated strings.
+    """
+    candidates = list(candidates)
+    lowered = {c.lower(): c for c in reversed(candidates)}
+    matches = difflib.get_close_matches(
+        name.lower(), list(lowered), n=1, cutoff=0.5
+    )
+    return lowered[matches[0]] if matches else None
+
+
+def unknown_name_error(
+    kind: str, name: str, candidates: Iterable[str]
+) -> ConfigurationError:
+    """A :class:`ConfigurationError` for an unknown registry name.
+
+    The message always lists the valid names; when ``name`` resembles
+    one of them it leads with a did-you-mean suggestion.
+    """
+    candidates = sorted(set(candidates))
+    suggestion = closest_name(str(name), candidates)
+    hint = f" — did you mean {suggestion!r}?" if suggestion else ""
+    return ConfigurationError(
+        f"unknown {kind} {name!r}{hint} (valid {kind}s: {candidates})"
+    )

@@ -1,8 +1,18 @@
 """Tests for the experiments CLI."""
 
+import json
+
 import pytest
 
-from repro.experiments.cli import RUNNERS, build_parser, main
+from repro.errors import ConfigurationError
+from repro.experiments.cli import (
+    RUNNERS,
+    build_parser,
+    main,
+    parse_spec_argument,
+    render_methods,
+)
+from repro.service import SpectralMaskingSpec, available_separators
 
 
 def test_parser_artefacts_complete():
@@ -36,3 +46,67 @@ def test_main_runs_table1(capsys, tmp_path):
 def test_main_runs_figure4(capsys):
     assert main(["figure4", "--preset", "smoke"]) == 0
     assert "Fig. 4" in capsys.readouterr().out
+
+
+class TestMethodsCommand:
+    def test_lists_every_registered_separator(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in available_separators():
+            assert name in out
+        # Spec fields and defaults are part of the listing.
+        assert "n_fft_seconds=12.0" in out
+        assert "DHFSpec" in out
+
+    def test_render_methods_mentions_aliases(self):
+        text = render_methods()
+        assert "Spect. Masking" in text
+        assert "REPET-Ext." in text
+
+
+class TestMethodAndSpecFlags:
+    def test_method_flag_runs_single_method(self, capsys):
+        assert main([
+            "table2", "--preset", "smoke", "--method", "spectral-masking",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Spect. Masking" in out
+        assert "EMD" not in out
+
+    def test_method_flag_rejects_unknown_with_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            main(["table2", "--preset", "smoke", "--method", "dfh"])
+
+    def test_method_flag_requires_table2(self):
+        with pytest.raises(ConfigurationError, match="table2"):
+            main(["table1", "--preset", "smoke", "--method", "emd"])
+
+    def test_spec_flag_inline_json(self, capsys):
+        spec = {"method": "spectral-masking", "n_harmonics": 4}
+        assert main([
+            "table2", "--preset", "smoke", "--spec", json.dumps(spec),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Spect. Masking (spec)" in out
+
+    def test_spec_flag_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"method": "emd", "max_imfs": 4}))
+        spec = parse_spec_argument(f"@{path}")
+        assert spec.max_imfs == 4
+
+    def test_spec_flag_rejects_bad_json(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            parse_spec_argument("{not json")
+        with pytest.raises(ConfigurationError, match="object"):
+            parse_spec_argument('["emd"]')
+
+    def test_spec_flag_missing_file_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="cannot be read"):
+            parse_spec_argument("@/nonexistent/spec.json")
+
+    def test_spec_equivalent_to_spec_object(self):
+        spec = parse_spec_argument(
+            '{"method": "spectral-masking", "hop_fraction": 0.5}'
+        )
+        assert spec == SpectralMaskingSpec(hop_fraction=0.5)

@@ -66,6 +66,54 @@ class TestBuilders:
         assert dhf.config.samples_per_period == \
             smoke.preset.alignment.samples_per_period
 
+    def test_include_accepts_registry_names(self, smoke):
+        methods = build_separators(
+            smoke.preset, include=("spectral-masking", "emd"),
+        )
+        assert list(methods) == ["EMD", "Spect. Masking"]
+
+    def test_include_unknown_name_suggests(self, smoke):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            build_separators(smoke.preset, include=("Spect Masking",))
+
+    def test_table2_specs_scale_dhf_only(self, smoke):
+        from repro.experiments import table2_specs
+
+        specs = table2_specs(smoke.preset)
+        assert list(specs) == list(TABLE2_METHOD_ORDER)
+        assert specs["DHF"].samples_per_period == \
+            smoke.preset.alignment.samples_per_period
+        assert specs["EMD"].max_imfs == 10
+
+    def test_display_method_name_round_trip(self):
+        from repro.experiments import display_method_name
+
+        assert display_method_name("spectral-masking") == "Spect. Masking"
+        assert display_method_name("REPET-Ext.") == "REPET-Ext."
+        assert display_method_name("dhf") == "DHF"
+
+    def test_include_accepts_plugin_methods(self, smoke):
+        from repro.experiments import table2_specs
+        from repro.service import (
+            SpectralMaskingSpec, register_separator, unregister_separator,
+        )
+        from repro.service.registry import _make_spectral_masking
+
+        register_separator(
+            "plugin-mask", _make_spectral_masking, SpectralMaskingSpec,
+            defaults={"n_harmonics": 2},
+        )
+        try:
+            specs = table2_specs(
+                smoke.preset, include=("EMD", "plugin-mask"),
+            )
+            assert list(specs) == ["EMD", "plugin-mask"]
+            assert specs["plugin-mask"].n_harmonics == 2
+        finally:
+            unregister_separator("plugin-mask", missing_ok=True)
+
 
 class TestTable1Runner:
     def test_runs_and_renders(self, smoke):
@@ -90,6 +138,56 @@ class TestTable2Runner:
         assert all(np.isfinite(v[0]) for v in averages.values())
         text = result.render()
         assert "Average" in text
+
+    def test_runs_from_method_names_and_custom_specs(self, smoke):
+        from repro.service import SpectralMaskingSpec
+
+        result = run_table2(
+            smoke, mixtures=["msig1"], methods=(),
+            specs={"custom": SpectralMaskingSpec(n_harmonics=4)},
+        )
+        assert set(result.scores) == {"custom"}
+        assert len(result.scores["custom"]) == 2
+        assert "custom" in result.render()
+
+    def test_run_separation_batch_accepts_names_and_specs(self, smoke):
+        from repro.experiments.common import (
+            records_from_mixtures, run_separation_batch,
+        )
+        from repro.service import SpectralMaskingSpec
+
+        records, _ = records_from_mixtures(["msig1"], smoke)
+        by_name = run_separation_batch("spectral-masking", records)
+        by_spec = run_separation_batch(SpectralMaskingSpec(), records)
+        assert by_name.separator_name == by_spec.separator_name
+        source = records[0].source_names()[0]
+        np.testing.assert_array_equal(
+            by_name.results[0].estimates[source],
+            by_spec.results[0].estimates[source],
+        )
+
+    def test_prebuilt_service_rejects_policy_overrides(self, smoke):
+        from repro.errors import ConfigurationError
+        from repro.experiments.common import (
+            records_from_mixtures, run_separation_batch,
+            run_streaming_batch,
+        )
+        from repro.service import SeparationService
+
+        records, _ = records_from_mixtures(["msig1"], smoke)
+        with SeparationService("spectral-masking") as service:
+            with pytest.raises(ConfigurationError, match="postprocess"):
+                run_separation_batch(
+                    service, records, postprocess=lambda est, rec: est,
+                )
+            with pytest.raises(ConfigurationError, match="workers"):
+                run_streaming_batch(
+                    service, records, segment_seconds=10.0,
+                    overlap_seconds=2.56, chunk_seconds=1.0, workers=2,
+                )
+            # Without overrides the service runs as configured.
+            batch = run_separation_batch(service, records)
+            assert len(batch) == 1
 
     def test_best_previous_excludes_dhf(self):
         result = Table2Result(

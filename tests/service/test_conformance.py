@@ -1,0 +1,128 @@
+"""Conformance suite: every registered separator, every service mode.
+
+For each method in :func:`repro.service.available_separators` (at smoke
+scale for DHF), a tiny two-source mixture runs through all three
+:class:`repro.service.SeparationService` modes and the suite asserts:
+
+* ``separate`` / ``separate_batch`` / ``stream`` return an estimate per
+  source, each the length of the record;
+* service results equal the direct layer APIs exactly (routing adds no
+  arithmetic);
+* the three modes agree with each other — bitwise for the default loop
+  ``separate_batch``, ``<= 1e-8`` for vectorized batch overrides, and
+  ``<= 1e-12`` for single-segment streaming.
+
+``make conformance`` runs exactly this file (also part of ``make ci``
+and ``scripts/smoke.sh``), so a newly registered separator is checked
+against the full mode matrix by naming alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import SeparationRecord
+from repro.service import (
+    DHFSpec,
+    SeparationService,
+    available_separators,
+    build_separator,
+    default_spec,
+)
+from repro.synth import make_mixture
+
+#: Mixture length (s): long enough for every method's STFT floor at the
+#: smoke alignment geometry, short enough that DHF's deep-prior fits
+#: stay test-suite-cheap.
+DURATION_S = 8.0
+
+
+def spec_for(name):
+    """Default spec per method, DHF scaled down to the smoke preset."""
+    if name == "dhf":
+        return DHFSpec.from_preset("smoke")
+    return default_spec(name)
+
+
+@pytest.fixture(scope="module")
+def record():
+    mixture = make_mixture("msig1", duration_s=DURATION_S, seed=11)
+    return SeparationRecord(
+        mixed=mixture.mixed,
+        sampling_hz=mixture.sampling_hz,
+        f0_tracks=mixture.f0_tracks,
+        name="conformance",
+        references=mixture.sources,
+    )
+
+
+@pytest.fixture(scope="module", params=available_separators())
+def method(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def outcomes(method, record):
+    """One service, all three modes, plus the direct-path reference."""
+    spec = spec_for(method)
+    direct = build_separator(spec).separate(
+        record.mixed, record.sampling_hz, record.f0_tracks
+    )
+    with SeparationService(spec) as service:
+        return {
+            "spec": spec,
+            "direct": direct,
+            "offline": service.separate(record),
+            "batch": service.separate_batch([record]),
+            "stream": service.stream(record),
+        }
+
+
+class TestConformance:
+    def test_offline_covers_every_source(self, outcomes, record):
+        estimates = outcomes["offline"].estimates
+        assert set(estimates) == set(record.f0_tracks)
+        for estimate in estimates.values():
+            assert estimate.shape == (record.n_samples,)
+            assert np.all(np.isfinite(estimate))
+
+    def test_offline_equals_direct_path(self, outcomes):
+        for source, reference in outcomes["direct"].items():
+            np.testing.assert_array_equal(
+                outcomes["offline"].estimates[source], reference,
+                err_msg=f"service offline diverged on {source!r}",
+            )
+
+    def test_batch_agrees_with_offline(self, outcomes, record):
+        batch = outcomes["batch"].batch
+        assert len(batch) == 1
+        for source in record.source_names():
+            err = np.abs(
+                batch.results[0].estimates[source]
+                - outcomes["offline"].estimates[source]
+            ).max()
+            # Vectorized separate_batch overrides may reorder float
+            # arithmetic; the default implementation is bitwise equal.
+            assert err <= 1e-8, f"{source}: batch vs offline {err:.2e}"
+
+    def test_stream_agrees_with_offline(self, outcomes, record):
+        streamed = outcomes["stream"].estimates
+        for source in record.source_names():
+            err = np.abs(
+                streamed[source] - outcomes["offline"].estimates[source]
+            ).max()
+            # Single-segment streaming (the default geometry) runs one
+            # separator call on the whole record: no cross-fades.
+            assert err <= 1e-12, f"{source}: stream vs offline {err:.2e}"
+
+    def test_every_mode_scores(self, outcomes, record):
+        for mode in ("offline", "stream"):
+            scores = outcomes[mode].scores
+            assert set(scores) == set(record.f0_tracks)
+        batch_scores = outcomes["batch"].batch.results[0].scores
+        assert set(batch_scores) == set(record.f0_tracks)
+
+    def test_spec_round_trips(self, outcomes):
+        from repro.service import SeparatorSpec
+
+        spec = outcomes["spec"]
+        assert SeparatorSpec.from_dict(spec.to_dict()) == spec

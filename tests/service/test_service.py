@@ -1,0 +1,281 @@
+"""Tests for the SeparationService facade (repro.service.facade)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SCORING_BAND_HZ
+from repro.dsp.filters import bandpass_filter
+from repro.errors import ConfigurationError
+from repro.pipeline import SeparationPipeline, SeparationRecord, stream_records
+from repro.service import (
+    SeparationOutcome,
+    SeparationService,
+    SpectralMaskingSpec,
+    as_record,
+    build_separator,
+)
+from repro.streaming import stream_record
+from repro.synth import make_mixture
+
+SPEC = SpectralMaskingSpec(n_fft_seconds=2.0)
+
+
+@pytest.fixture(scope="module")
+def mixtures():
+    return [
+        make_mixture("msig1", duration_s=12.0, seed=7),
+        make_mixture("msig2", duration_s=12.0, seed=8),
+    ]
+
+
+@pytest.fixture(scope="module")
+def records(mixtures):
+    return [
+        SeparationRecord(
+            mixed=m.mixed, sampling_hz=m.sampling_hz,
+            f0_tracks=m.f0_tracks, name=f"rec{i}", references=m.sources,
+        )
+        for i, m in enumerate(mixtures)
+    ]
+
+
+class TestOfflineMode:
+    def test_identical_to_direct_separator(self, records):
+        direct = build_separator(SPEC).separate(
+            records[0].mixed, records[0].sampling_hz, records[0].f0_tracks
+        )
+        with SeparationService(SPEC) as service:
+            outcome = service.separate(records[0])
+        assert outcome.mode == "offline"
+        assert outcome.spec == SPEC
+        for source, estimate in direct.items():
+            np.testing.assert_array_equal(outcome.estimates[source], estimate)
+
+    def test_scores_when_references_present(self, records):
+        outcome = SeparationService(SPEC).separate(records[0])
+        assert set(outcome.scores) == set(records[0].f0_tracks)
+        for sdr, err in outcome.scores.values():
+            assert np.isfinite(sdr) and err >= 0
+
+    def test_raw_field_call(self, mixtures):
+        m = mixtures[0]
+        outcome = SeparationService(SPEC).separate(
+            mixed=m.mixed, sampling_hz=m.sampling_hz, f0_tracks=m.f0_tracks,
+        )
+        assert set(outcome.estimates) == set(m.f0_tracks)
+
+    def test_detailed_dhf_outcome_carries_rounds(self):
+        from repro.service import DHFSpec
+
+        m = make_mixture("msig1", duration_s=8.0, seed=3)
+        service = SeparationService(DHFSpec.from_preset("smoke"))
+        outcome = service.separate(
+            mixed=m.mixed, sampling_hz=m.sampling_hz,
+            f0_tracks=m.f0_tracks, detailed=True,
+        )
+        assert outcome.detail is not None
+        assert len(outcome.detail.rounds) == len(m.f0_tracks)
+
+    def test_prebuilt_separator_escape_hatch(self, records):
+        sep = build_separator(SPEC)
+        service = SeparationService(sep)
+        assert service.spec is None
+        outcome = service.separate(records[0])
+        assert outcome.separator_name == sep.name
+
+
+class TestBatchMode:
+    def test_identical_to_direct_pipeline(self, records):
+        direct = SeparationPipeline(build_separator(SPEC)).run(records)
+        with SeparationService(SPEC) as service:
+            outcome = service.separate_batch(records)
+        assert outcome.mode == "batch"
+        assert len(outcome.batch) == len(direct)
+        for ours, ref in zip(outcome.batch.results, direct.results):
+            for source in ref.estimates:
+                np.testing.assert_array_equal(
+                    ours.estimates[source], ref.estimates[source]
+                )
+            assert ours.scores == ref.scores
+
+    def test_worker_pool_is_shared_across_calls(self, records):
+        with SeparationService(SPEC, workers=2) as service:
+            service.separate_batch(records)
+            pool = service._pool
+            assert pool is not None
+            service.separate_batch(records)
+            assert service._pool is pool
+        assert service._pool is None  # closed on exit
+
+    def test_serial_service_never_builds_a_pool(self, records):
+        with SeparationService(SPEC) as service:
+            service.separate_batch(records)
+            assert service._pool is None
+
+    def test_postprocess_applies_everywhere(self, records):
+        low, high = SCORING_BAND_HZ
+
+        def to_band(est, record):
+            return bandpass_filter(est, record.sampling_hz, low, high)
+
+        with SeparationService(SPEC, postprocess=to_band) as service:
+            single = service.separate(records[0])
+            batch = service.separate_batch(records)
+        source = records[0].source_names()[0]
+        np.testing.assert_array_equal(
+            single.estimates[source],
+            batch.batch.results[0].estimates[source],
+        )
+
+
+class TestStreamMode:
+    def test_identical_to_direct_streaming_engine(self, records):
+        record = records[0]
+        segment, overlap, chunk = 600, 300, 100
+        direct, _ = stream_record(
+            build_separator(SPEC), record.mixed, record.sampling_hz,
+            record.f0_tracks, segment_samples=segment,
+            overlap_samples=overlap, chunk_samples=chunk,
+        )
+        with SeparationService(SPEC) as service:
+            outcome = service.stream(
+                record, chunk_samples=chunk, segment_samples=segment,
+                overlap_samples=overlap,
+            )
+        assert outcome.mode == "stream"
+        assert outcome.chunks, "chunk trail missing"
+        assert outcome.chunks[-1].final
+        for source, estimate in direct.items():
+            np.testing.assert_array_equal(outcome.estimates[source], estimate)
+
+    def test_default_geometry_degenerates_to_offline(self, records):
+        record = records[0]
+        direct = build_separator(SPEC).separate(
+            record.mixed, record.sampling_hz, record.f0_tracks
+        )
+        outcome = SeparationService(SPEC).stream(record)
+        for source, estimate in direct.items():
+            assert np.abs(outcome.estimates[source] - estimate).max() <= 1e-12
+
+    def test_stream_batch_matches_stream_records(self, records):
+        segment, overlap, chunk = 600, 300, 100
+        direct = stream_records(
+            build_separator(SPEC), records, segment_samples=segment,
+            overlap_samples=overlap, chunk_samples=chunk,
+        )
+        with SeparationService(SPEC) as service:
+            outcome = service.stream_batch(
+                records, segment_samples=segment, overlap_samples=overlap,
+                chunk_samples=chunk,
+            )
+        for ours, ref in zip(outcome.batch.results, direct.results):
+            for source in ref.estimates:
+                np.testing.assert_array_equal(
+                    ours.estimates[source], ref.estimates[source]
+                )
+
+
+class TestDHFAllModes:
+    """Acceptance: one DHFSpec, service vs direct paths, all modes."""
+
+    def test_service_matches_direct_paths_to_1e12(self):
+        from repro.service import DHFSpec
+
+        spec = DHFSpec.from_preset("smoke")
+        m = make_mixture("msig1", duration_s=8.0, seed=5)
+        record = SeparationRecord(
+            mixed=m.mixed, sampling_hz=m.sampling_hz,
+            f0_tracks=m.f0_tracks, name="dhf-accept",
+        )
+        segment, overlap, chunk = record.n_samples, 200, 100
+
+        direct_offline = build_separator(spec).separate(
+            record.mixed, record.sampling_hz, record.f0_tracks
+        )
+        direct_batch = SeparationPipeline(build_separator(spec)).run([record])
+        direct_stream, _ = stream_record(
+            build_separator(spec), record.mixed, record.sampling_hz,
+            record.f0_tracks, segment_samples=segment,
+            overlap_samples=overlap, chunk_samples=chunk,
+        )
+
+        with SeparationService(spec) as service:
+            offline = service.separate(record)
+            batch = service.separate_batch([record])
+            stream = service.stream(
+                record, chunk_samples=chunk, segment_samples=segment,
+                overlap_samples=overlap,
+            )
+
+        for source in record.source_names():
+            for got, ref, mode in (
+                (offline.estimates[source], direct_offline[source],
+                 "offline"),
+                (batch.batch.results[0].estimates[source],
+                 direct_batch.results[0].estimates[source], "batch"),
+                (stream.estimates[source], direct_stream[source], "stream"),
+            ):
+                err = float(np.abs(got - ref).max())
+                assert err <= 1e-12, f"{mode}/{source}: {err:.2e}"
+
+
+class TestOutcomeAndInputs:
+    def test_outcome_needs_exactly_one_result(self, records):
+        with pytest.raises(ConfigurationError):
+            SeparationOutcome(
+                separator_name="x", spec=None, mode="offline",
+            )
+        with pytest.raises(ConfigurationError):
+            SeparationOutcome(
+                separator_name="x", spec=None, mode="nope",
+                record=object(),
+            )
+
+    def test_batch_outcome_rejects_single_record_accessors(self, records):
+        outcome = SeparationService(SPEC).separate_batch(records)
+        with pytest.raises(ConfigurationError):
+            outcome.estimates
+        with pytest.raises(ConfigurationError):
+            outcome.scores
+        summary = outcome.summary()
+        assert set(summary) == {"maternal", "fetal"}
+
+    def test_single_outcome_summary(self, records):
+        outcome = SeparationService(SPEC).separate(records[0])
+        summary = outcome.summary()
+        assert set(summary) == set(records[0].f0_tracks)
+
+    def test_as_record_coercions(self, mixtures):
+        m = mixtures[0]
+        record = as_record({
+            "mixed": m.mixed, "sampling_hz": m.sampling_hz,
+            "f0_tracks": m.f0_tracks,
+        })
+        assert isinstance(record, SeparationRecord)
+        same = as_record(record)
+        assert same is record
+        with pytest.raises(ConfigurationError):
+            as_record(3.14)
+        with pytest.raises(ConfigurationError):
+            as_record(mixed=m.mixed)
+        # A ready record plus field kwargs would silently drop the
+        # fields; it must raise instead.
+        with pytest.raises(ConfigurationError, match="not both"):
+            as_record(record, references=m.sources)
+
+    def test_service_validates_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SeparationService(SPEC, workers=-1)
+        with pytest.raises(ConfigurationError):
+            SeparationService(SPEC, executor="fork")
+
+    def test_stream_rejects_explicit_zero_geometry(self, records):
+        # Explicit zeros must hit the engine's validation, not be
+        # silently replaced by the defaults.
+        service = SeparationService(SPEC)
+        with pytest.raises(ConfigurationError):
+            service.stream(records[0], overlap_samples=0)
+        with pytest.raises(ConfigurationError):
+            service.stream(records[0], segment_samples=0)
+        with pytest.raises(ConfigurationError):
+            service.stream(records[0], chunk_samples=0)

@@ -28,6 +28,13 @@ def test_unknown_preset_raises():
         get_preset("nope")
 
 
+def test_unknown_preset_suggests_close_match():
+    with pytest.raises(ConfigurationError, match="did you mean 'smoke'"):
+        get_preset("smok")
+    with pytest.raises(ConfigurationError, match="valid preset"):
+        get_preset("zzz")
+
+
 def test_scaled_override():
     preset = get_preset("fast").scaled(signal_duration_s=10.0)
     assert preset.signal_duration_s == 10.0
