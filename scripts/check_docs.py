@@ -7,7 +7,10 @@ Verifies that
    a stale name in an ``__init__`` fails here, not in a user session;
 3. every dotted ``repro.*`` module path mentioned in the docs imports;
 4. every separator name registered in ``repro.service`` appears in the
-   docs — registering a method without documenting it fails CI.
+   docs — registering a method without documenting it fails CI;
+5. the public batch-fitting API (the deep-prior hot path) is documented:
+   every name in ``REQUIRED_DOC_NAMES`` must both resolve as an
+   attribute of its package and appear in the docs.
 
 Run:  PYTHONPATH=src python scripts/check_docs.py
 """
@@ -32,6 +35,17 @@ PUBLIC_PACKAGES = [
     "repro.metrics",
     "repro.synth",
     "repro.experiments",
+]
+
+#: (package, attribute) pairs that must resolve AND be mentioned in the
+#: docs.  The batched deep-prior engine is the DHF hot path; shipping a
+#: change that renames or undocuments its entry points fails here.
+REQUIRED_DOC_NAMES = [
+    ("repro.core", "inpaint_spectrograms"),
+    ("repro.core", "EarlyStopConfig"),
+    ("repro.nn", "BatchedSpAcLUNet"),
+    ("repro.nn", "fit_batched"),
+    ("repro.core", "DHFSeparator"),
 ]
 
 
@@ -85,12 +99,17 @@ def check_doc_references() -> list:
     return problems
 
 
+def _docs_corpus() -> str:
+    """Concatenated text of every existing doc file."""
+    return "\n".join(doc.read_text() for doc in DOCS if doc.exists())
+
+
 def check_registered_separators_documented() -> list:
     """Every registered separator name must appear in the docs."""
     from repro.service import available_separators
 
     problems = []
-    corpus = "\n".join(doc.read_text() for doc in DOCS if doc.exists())
+    corpus = _docs_corpus()
     for name in available_separators():
         # Whole-word match: 'repet' inside 'repet-ext' (or inside an
         # ordinary word) must not count as documentation of 'repet'.
@@ -103,11 +122,30 @@ def check_registered_separators_documented() -> list:
     return problems
 
 
+def check_required_names_documented() -> list:
+    """The batch-fitting API must resolve and appear in the docs."""
+    problems = []
+    corpus = _docs_corpus()
+    for package, attribute in REQUIRED_DOC_NAMES:
+        module = importlib.import_module(package)
+        if not hasattr(module, attribute):
+            problems.append(
+                f"required API {package}.{attribute} does not resolve"
+            )
+        if not re.search(rf"\b{re.escape(attribute)}\b", corpus):
+            problems.append(
+                f"required API name {attribute!r} ({package}) is not "
+                f"mentioned in any of: {', '.join(d.name for d in DOCS)}"
+            )
+    return problems
+
+
 def main() -> int:
     problems = (
         check_exports()
         + check_doc_references()
         + check_registered_separators_documented()
+        + check_required_names_documented()
     )
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)

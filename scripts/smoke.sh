@@ -22,4 +22,7 @@ python benchmarks/bench_pipeline.py --smoke
 echo "== bench_streaming --smoke =="
 python benchmarks/bench_streaming.py --smoke
 
+echo "== bench_inpainting --smoke =="
+python benchmarks/bench_inpainting.py --smoke
+
 echo "smoke: OK"

@@ -42,7 +42,9 @@ from repro.core.inpainting import (
     auto_time_dilation,
     config_for_prior_kind,
     inpaint_spectrogram,
+    inpaint_spectrograms,
 )
+from repro.nn.batchfit import EarlyStopConfig
 from repro.core.results import DHFResult, DHFRound
 from repro.core.dhf import DHFConfig, DHFSeparator
 
@@ -56,7 +58,8 @@ __all__ = [
     "combine_magnitude_phase", "interpolate_phase_cyclic",
     "interpolate_phase_naive",
     "InpaintingConfig", "InpaintingResult", "auto_time_dilation",
-    "config_for_prior_kind", "inpaint_spectrogram",
+    "config_for_prior_kind", "inpaint_spectrogram", "inpaint_spectrograms",
+    "EarlyStopConfig",
     "DHFResult", "DHFRound",
     "DHFConfig", "DHFSeparator",
 ]

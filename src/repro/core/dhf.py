@@ -27,7 +27,7 @@ once per batch instead of once per record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -36,9 +36,12 @@ from repro.separation import Separator
 from repro.core.alignment import Alignment, rewarp, unwarp, warp_all_f0_tracks
 from repro.core.inpainting import (
     InpaintingConfig,
+    InpaintingResult,
     auto_time_dilation,
     inpaint_spectrogram,
+    inpaint_spectrograms,
 )
+from repro.nn.batchfit import EarlyStopConfig
 from repro.core.masking import (
     build_round_masks,
     default_bandwidth,
@@ -73,6 +76,18 @@ class DHFConfig:
     phase_policy: str = "auto"
     inpainting: InpaintingConfig = field(default_factory=InpaintingConfig)
     seed: int = 20240623  # DAC'24 opening day
+    #: Route multi-record ``separate_batch`` calls through the batched
+    #: deep-prior engine (:func:`repro.core.inpainting.inpaint_spectrograms`),
+    #: grouping same-geometry rounds into one stacked fit.  Single-record
+    #: batches always take the sequential path, which keeps them bitwise
+    #: identical to ``separate``.
+    batch_fit: bool = True
+    #: Early-stopping patience for batched fits; ``0`` disables early
+    #: stopping (every record runs the full iteration budget, keeping
+    #: batched results equivalent to sequential fits).
+    early_stop_patience: int = 0
+    #: Relative loss improvement that resets the patience counter.
+    early_stop_rel_tol: float = 1e-3
 
     def __post_init__(self):
         if self.samples_per_period < 4:
@@ -97,11 +112,32 @@ class DHFConfig:
                 f"phase_policy must be 'auto', 'cyclic' or 'observed', got "
                 f"{self.phase_policy!r}"
             )
+        if not isinstance(self.batch_fit, bool):
+            raise ConfigurationError(
+                f"batch_fit must be a bool, got {self.batch_fit!r}"
+            )
+        if not isinstance(self.early_stop_patience, int) \
+                or self.early_stop_patience < 0:
+            raise ConfigurationError(
+                f"early_stop_patience must be an int >= 0, got "
+                f"{self.early_stop_patience!r}"
+            )
+        if self.early_stop_patience:
+            self.early_stop()  # validate rel_tol via EarlyStopConfig
 
     @property
     def bin_spacing_hz(self) -> float:
         """STFT bin spacing in the aligned space (Hz)."""
         return 1.0 / self.periods_per_window
+
+    def early_stop(self) -> Optional[EarlyStopConfig]:
+        """The batched-fit early-stop criterion, or ``None`` (disabled)."""
+        if not self.early_stop_patience:
+            return None
+        return EarlyStopConfig(
+            patience=self.early_stop_patience,
+            rel_tol=self.early_stop_rel_tol,
+        )
 
     def bandwidth_fn(self):
         """Ridge half-width (aligned-space Hz) as a function of harmonic."""
@@ -129,6 +165,39 @@ class DHFConfig:
             inpainting=inpainting,
         )
         return replace(cfg, **overrides) if overrides else cfg
+
+
+@dataclass
+class _RoundPrep:
+    """Stages 1-3 of one DHF round, ready for the deep-prior fit.
+
+    The fit itself (stage 4) is deliberately split out so that
+    same-geometry rounds from different records can be grouped into one
+    batched :func:`repro.core.inpainting.inpaint_spectrograms` pass.
+    """
+
+    target: str
+    alignment: Alignment
+    spec: object            # repro.dsp.StftResult
+    masks: object           # repro.core.masking.RoundMasks
+    dilation: int
+    inpaint_cfg: InpaintingConfig
+    rng: object
+    n_fft: int
+    hop: int
+
+
+@dataclass
+class _BatchRecordState:
+    """Per-record progress of a batched DHF run."""
+
+    index: int
+    f0_tracks: Mapping[str, np.ndarray]
+    order: List[str]
+    rngs: List
+    residual: np.ndarray
+    estimates: Dict[str, np.ndarray] = field(default_factory=dict)
+    rounds: List[DHFRound] = field(default_factory=list)
 
 
 class DHFSeparator(Separator):
@@ -215,16 +284,15 @@ class DHFSeparator(Separator):
         hop = spp * min(cfg.hop_periods, max(1, ppw // 4))
         return n_fft, hop
 
-    def _separate_round(
+    def _prepare_round(
         self,
         residual: np.ndarray,
         sampling_hz: float,
         f0_tracks: Mapping[str, np.ndarray],
         target: str,
         rng,
-        reference_sources: Optional[Mapping[str, np.ndarray]] = None,
-        round_index: int = 0,
-    ) -> DHFRound:
+    ) -> "_RoundPrep":
+        """Stages 1-3 of one round: alignment, STFT, masks, fit config."""
         cfg = self.config
 
         # 1. Pattern alignment: target becomes strictly periodic at 1 Hz.
@@ -251,15 +319,50 @@ class DHFSeparator(Separator):
             f0_spread_by_source=f0_spread,
         )
 
-        # 4. Deep-prior in-painting of the concealed cells.
         if cfg.time_dilation == "auto":
             dilation = auto_time_dilation(masks.visibility)
         else:
             dilation = int(cfg.time_dilation)
-        inpaint_cfg = replace(cfg.inpainting, time_dilation=dilation)
-        fit = inpaint_spectrogram(
-            spec.magnitude, masks.visibility, inpaint_cfg, rng=rng
+        return _RoundPrep(
+            target=target,
+            alignment=alignment,
+            spec=spec,
+            masks=masks,
+            dilation=dilation,
+            inpaint_cfg=replace(cfg.inpainting, time_dilation=dilation),
+            rng=rng,
+            n_fft=n_fft,
+            hop=hop,
         )
+
+    @staticmethod
+    def _fit_round(prep: "_RoundPrep") -> Optional[InpaintingResult]:
+        """Stage 4, sequential: fit the deep prior to the visible cells.
+
+        When the round conceals nothing (no interfering ridge crosses the
+        target's spectrogram) there is nothing to in-paint and the fit is
+        skipped entirely — the observed magnitude passes through.
+        """
+        if prep.masks.visibility.all():
+            return None
+        return inpaint_spectrogram(
+            prep.spec.magnitude, prep.masks.visibility, prep.inpaint_cfg,
+            rng=prep.rng,
+        )
+
+    def _finish_round(
+        self,
+        prep: "_RoundPrep",
+        fit: Optional[InpaintingResult],
+        sampling_hz: float,
+        f0_tracks: Mapping[str, np.ndarray],
+        reference_sources: Optional[Mapping[str, np.ndarray]] = None,
+        round_index: int = 0,
+    ) -> DHFRound:
+        """Stages 5-7 of one round: magnitude/phase combine and inversion."""
+        cfg = self.config
+        alignment, spec, masks = prep.alignment, prep.spec, prep.masks
+        target, n_fft, hop = prep.target, prep.n_fft, prep.hop
 
         # 5. Separated magnitude: target ridge only; observed where visible.
         #    At concealed cells the in-painted value is capped by the
@@ -268,9 +371,12 @@ class DHFSeparator(Separator):
         #    over-shoots while keeping the in-painted value wherever
         #    interference inflates the observation.
         concealed = masks.interference
-        inpainted = np.minimum(fit.output, spec.magnitude)
-        separated_mag = np.where(concealed, inpainted, spec.magnitude)
-        separated_mag = separated_mag * masks.target_ridge
+        if fit is None:
+            separated_mag = spec.magnitude * masks.target_ridge
+        else:
+            inpainted = np.minimum(fit.output, spec.magnitude)
+            separated_mag = np.where(concealed, inpainted, spec.magnitude)
+            separated_mag = separated_mag * masks.target_ridge
 
         # 6. Phase: observed where visible; at concealed cells the policy
         #    decides.  'cyclic' always interpolates (Sec. 3.4); 'observed'
@@ -314,8 +420,164 @@ class DHFSeparator(Separator):
             target=target,
             alignment=alignment,
             masks=masks,
-            time_dilation=dilation,
-            losses=fit.losses,
+            time_dilation=prep.dilation,
+            losses=fit.losses if fit is not None else np.empty(0),
             estimate=estimate,
             masked_energy_ratio=mer,
         )
+
+    def _separate_round(
+        self,
+        residual: np.ndarray,
+        sampling_hz: float,
+        f0_tracks: Mapping[str, np.ndarray],
+        target: str,
+        rng,
+        reference_sources: Optional[Mapping[str, np.ndarray]] = None,
+        round_index: int = 0,
+    ) -> DHFRound:
+        prep = self._prepare_round(
+            residual, sampling_hz, f0_tracks, target, rng
+        )
+        fit = self._fit_round(prep)
+        return self._finish_round(
+            prep, fit, sampling_hz, f0_tracks, reference_sources,
+            round_index=round_index,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched separation: sibling rounds share one stacked deep-prior fit
+    # ------------------------------------------------------------------ #
+    def separate_batch(
+        self,
+        mixed_batch: Sequence,
+        sampling_hz: float,
+        f0_tracks_batch: Sequence[Mapping[str, np.ndarray]],
+    ) -> List[Dict[str, np.ndarray]]:
+        """Separate several records, batching their deep-prior fits.
+
+        Round ``k`` of every record is independent of the other records,
+        so the per-round fits of records sharing one spectrogram
+        geometry and fit configuration are stacked into a single
+        :func:`repro.core.inpainting.inpaint_spectrograms` pass — the
+        hot-path win the batched engine exists for.  Records whose
+        geometry differs (or a batch of one) fall back to the sequential
+        fit, which keeps single-record batches bitwise identical to
+        :meth:`separate`.  Set ``config.batch_fit=False`` to force the
+        sequential path throughout.
+        """
+        if len(mixed_batch) != len(f0_tracks_batch):
+            raise ConfigurationError(
+                f"{len(mixed_batch)} mixed records but "
+                f"{len(f0_tracks_batch)} f0-track mappings"
+            )
+        if len(mixed_batch) < 2 or not self.config.batch_fit:
+            return super().separate_batch(
+                mixed_batch, sampling_hz, f0_tracks_batch
+            )
+        results = self.separate_batch_detailed(
+            mixed_batch, sampling_hz, f0_tracks_batch
+        )
+        return [result.estimates for result in results]
+
+    def separate_batch_detailed(
+        self,
+        mixed_batch: Sequence,
+        sampling_hz: float,
+        f0_tracks_batch: Sequence[Mapping[str, np.ndarray]],
+        reference_sources_batch: Optional[Sequence[Mapping[str, np.ndarray]]] = None,
+    ) -> List[DHFResult]:
+        """Batched :meth:`separate_detailed`: full diagnostics per record.
+
+        Rounds advance in lockstep across records: each record's round
+        ``k`` is prepared (alignment, STFT, masks), the prepared fits are
+        grouped by ``(spectrogram shape, fit config)``, and every group
+        of two or more runs as one stacked batched fit (with the
+        config's early-stop criterion, when enabled).  Seeding matches
+        the sequential path record-for-record, so a batched result is a
+        drop-in replacement for its sequential counterpart.
+        """
+        if len(mixed_batch) != len(f0_tracks_batch):
+            raise ConfigurationError(
+                f"{len(mixed_batch)} mixed records but "
+                f"{len(f0_tracks_batch)} f0-track mappings"
+            )
+        if reference_sources_batch is not None \
+                and len(reference_sources_batch) != len(mixed_batch):
+            raise ConfigurationError(
+                f"{len(mixed_batch)} mixed records but "
+                f"{len(reference_sources_batch)} reference mappings"
+            )
+        states: List[_BatchRecordState] = []
+        for index, (mixed, tracks) in enumerate(
+                zip(mixed_batch, f0_tracks_batch)):
+            validated = self._validate(mixed, sampling_hz, tracks)
+            order = self._extraction_order(validated, sampling_hz, tracks)
+            rngs = spawn_generators(self.config.seed, len(order))
+            states.append(_BatchRecordState(
+                index=index, f0_tracks=tracks, order=order, rngs=rngs,
+                residual=validated.copy(),
+            ))
+
+        if not states:
+            return []
+        early_stop = self.config.early_stop()
+        max_rounds = max(len(state.order) for state in states)
+        for round_index in range(max_rounds):
+            active = [s for s in states if round_index < len(s.order)]
+            preps = [
+                self._prepare_round(
+                    state.residual, sampling_hz, state.f0_tracks,
+                    state.order[round_index], state.rngs[round_index],
+                )
+                for state in active
+            ]
+
+            # Group fit-needing rounds by geometry + configuration.
+            # With batch_fit disabled every round stays a singleton, so
+            # the whole run is bitwise identical to the sequential path.
+            groups: Dict[tuple, List[int]] = {}
+            for i, prep in enumerate(preps):
+                if prep.masks.visibility.all():
+                    continue  # nothing concealed: no fit this round
+                key = (prep.spec.magnitude.shape, prep.inpaint_cfg) \
+                    if self.config.batch_fit else ("sequential", i)
+                groups.setdefault(key, []).append(i)
+
+            fits: List[Optional[InpaintingResult]] = [None] * len(preps)
+            for indices in groups.values():
+                if len(indices) == 1:
+                    fits[indices[0]] = self._fit_round(preps[indices[0]])
+                    continue
+                batched = inpaint_spectrograms(
+                    [preps[i].spec.magnitude for i in indices],
+                    [preps[i].masks.visibility for i in indices],
+                    preps[indices[0]].inpaint_cfg,
+                    rngs=[preps[i].rng for i in indices],
+                    early_stop=early_stop,
+                )
+                for i, fit in zip(indices, batched):
+                    fits[i] = fit
+
+            for state, prep, fit in zip(active, preps, fits):
+                references = None
+                if reference_sources_batch is not None:
+                    references = reference_sources_batch[state.index]
+                round_result = self._finish_round(
+                    prep, fit, sampling_hz, state.f0_tracks,
+                    reference_sources=references, round_index=round_index,
+                )
+                state.estimates[prep.target] = round_result.estimate
+                state.rounds.append(round_result)
+                state.residual = state.residual - round_result.estimate
+
+        return [
+            DHFResult(
+                estimates={
+                    name: state.estimates[name] for name in state.f0_tracks
+                },
+                rounds=state.rounds,
+                residual=state.residual,
+            )
+            for state in states
+        ]

@@ -11,11 +11,12 @@ inference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, DataError, ShapeError
+from repro.nn.batchfit import BatchedSpAcLUNet, EarlyStopConfig, fit_batched
 from repro.nn.loss import masked_mse_loss
 from repro.nn.optim import Adam
 from repro.nn.unet import SpAcLUNet, UNetConfig
@@ -107,6 +108,10 @@ class InpaintingResult:
     concealed_errors: Optional[np.ndarray]
     network: SpAcLUNet
     scale: float
+    #: Best-loss iteration a batched fit rolled back to when per-record
+    #: early stopping triggered; ``None`` when the fit ran its full
+    #: iteration budget (always the case for the sequential path).
+    stop_iteration: Optional[int] = None
 
 
 def _clamp_dilation(dilation: int, n_frames: int) -> int:
@@ -144,6 +149,64 @@ def auto_time_dilation(visibility: np.ndarray, minimum: int = 5,
     return max(minimum, min(dilation, maximum))
 
 
+def _validated_pair(magnitude, visibility):
+    """Shared input validation of one (magnitude, visibility) pair.
+
+    Deep-prior fitting needs a non-degenerate spectrogram and a mask
+    that both shows *and* conceals something: an all-concealed mask
+    leaves the cost of Eq. 9 empty, and an all-visible mask means there
+    is nothing to in-paint — both would silently fit noise, so both
+    raise :class:`repro.errors.DataError` instead.
+    """
+    magnitude = as_2d_float_array(magnitude, "magnitude")
+    if magnitude.shape[1] < 2:
+        raise DataError(
+            f"magnitude spectrogram has {magnitude.shape[1]} frame(s); "
+            f"deep-prior fitting needs at least 2 time frames"
+        )
+    if np.any(magnitude < 0):
+        raise DataError("magnitude spectrogram must be non-negative")
+    visibility_arr = np.asarray(visibility, dtype=bool)
+    if visibility_arr.shape != magnitude.shape:
+        raise ShapeError(
+            f"visibility shape {visibility_arr.shape} != magnitude shape "
+            f"{magnitude.shape}"
+        )
+    if not visibility_arr.any():
+        raise DataError("visibility mask conceals everything")
+    if visibility_arr.all():
+        raise DataError(
+            "visibility mask conceals nothing; there is nothing to in-paint"
+        )
+    return magnitude, visibility_arr
+
+
+def _validated_reference(reference, magnitude) -> np.ndarray:
+    reference = as_2d_float_array(reference, "reference")
+    if reference.shape != magnitude.shape:
+        raise ShapeError(
+            f"reference shape {reference.shape} != magnitude shape "
+            f"{magnitude.shape}"
+        )
+    return reference
+
+
+def _normalize(magnitude: np.ndarray, config: InpaintingConfig):
+    """Compress and scale one magnitude map into network space."""
+    compressed = magnitude ** config.compression
+    scale = float(compressed.max())
+    if scale <= 0:
+        raise DataError("magnitude spectrogram is identically zero")
+    return (compressed / scale).astype(config.dtype), scale
+
+
+def _restore(output: np.ndarray, scale: float,
+             config: InpaintingConfig) -> np.ndarray:
+    """Undo :func:`_normalize` on a fitted network-space map."""
+    restored = np.clip(output.astype(np.float64), 0.0, None) * scale
+    return restored ** (1.0 / config.compression)
+
+
 def inpaint_spectrogram(
     magnitude: np.ndarray,
     visibility: np.ndarray,
@@ -167,25 +230,11 @@ def inpaint_spectrogram(
         Optional ground-truth magnitude for tracking concealed-region error
         per iteration (Fig. 3 experiment).
     """
-    magnitude = as_2d_float_array(magnitude, "magnitude")
-    if np.any(magnitude < 0):
-        raise DataError("magnitude spectrogram must be non-negative")
-    visibility_arr = np.asarray(visibility, dtype=bool)
-    if visibility_arr.shape != magnitude.shape:
-        raise ShapeError(
-            f"visibility shape {visibility_arr.shape} != magnitude shape "
-            f"{magnitude.shape}"
-        )
-    if not visibility_arr.any():
-        raise DataError("visibility mask conceals everything")
+    magnitude, visibility_arr = _validated_pair(magnitude, visibility)
     rng_init, rng_code = spawn_generators(as_generator(rng), 2)
 
     n_freq, n_frames = magnitude.shape
-    compressed = magnitude ** config.compression
-    scale = float(compressed.max())
-    if scale <= 0:
-        raise DataError("magnitude spectrogram is identically zero")
-    normalized = (compressed / scale).astype(config.dtype)
+    normalized, scale = _normalize(magnitude, config)
 
     from dataclasses import replace
     dilation = _clamp_dilation(config.time_dilation, n_frames)
@@ -205,12 +254,7 @@ def inpaint_spectrogram(
         np.empty(config.iterations) if reference is not None else None
     )
     if reference is not None:
-        reference = as_2d_float_array(reference, "reference")
-        if reference.shape != magnitude.shape:
-            raise ShapeError(
-                f"reference shape {reference.shape} != magnitude shape "
-                f"{magnitude.shape}"
-            )
+        reference = _validated_reference(reference, magnitude)
         ref_norm = (reference ** config.compression) / scale
         concealed = ~visibility_arr
 
@@ -230,12 +274,151 @@ def inpaint_spectrogram(
             else:
                 concealed_errors[it] = 0.0
 
-    restored = np.clip(output_data.astype(np.float64), 0.0, None) * scale
-    output = restored ** (1.0 / config.compression)
     return InpaintingResult(
-        output=output,
+        output=_restore(output_data, scale, config),
         losses=losses,
         concealed_errors=concealed_errors,
         network=network,
         scale=scale,
     )
+
+
+def inpaint_spectrograms(
+    magnitudes: Sequence[np.ndarray],
+    visibilities: Sequence[np.ndarray],
+    config: InpaintingConfig,
+    rngs: Optional[Sequence] = None,
+    references: Optional[Sequence[np.ndarray]] = None,
+    early_stop: Optional[EarlyStopConfig] = None,
+) -> List[InpaintingResult]:
+    """Fit K deep priors in one batched pass (the hot-path batch API).
+
+    Every record keeps its own network, weights and optimiser trajectory;
+    the records merely share one autograd graph per iteration via
+    :class:`repro.nn.batchfit.BatchedSpAcLUNet`, which is what makes the
+    batch faster than K sequential :func:`inpaint_spectrogram` calls.
+    With ``early_stop=None`` (the default) every record runs the full
+    iteration budget and each :class:`InpaintingResult` matches the
+    sequential fit for the same ``rngs[k]`` up to floating-point
+    summation order (see the "Deep-prior fitting engine" section of
+    ``docs/architecture.md`` for the documented tolerance); with an
+    :class:`repro.nn.batchfit.EarlyStopConfig`, converged records roll
+    back to their best-loss iteration (``stop_iteration``) and drop out
+    of the running batch.
+
+    Parameters
+    ----------
+    magnitudes:
+        K magnitude spectrograms, all of one shape ``(n_freq, n_frames)``
+        (records of different geometry belong in different batches).
+    visibilities:
+        K binary visibility masks, shape-matched per record.
+    config:
+        Shared hyper-parameters (one batch = one network geometry).
+    rngs:
+        Per-record seeds/generators (length K), or ``None`` for fresh
+        entropy per record.  Record ``k`` draws its init and input code
+        exactly as ``inpaint_spectrogram(..., rng=rngs[k])`` would.
+    references:
+        Optional per-record ground-truth magnitudes enabling the Fig. 3
+        concealed-error diagnostic (all K or none).
+    early_stop:
+        Optional per-record convergence criterion.
+    """
+    magnitudes = list(magnitudes)
+    visibilities = list(visibilities)
+    if not magnitudes:
+        raise ConfigurationError("inpaint_spectrograms needs >= 1 record")
+    if len(visibilities) != len(magnitudes):
+        raise ShapeError(
+            f"{len(magnitudes)} magnitudes but {len(visibilities)} "
+            f"visibility masks"
+        )
+    if rngs is not None:
+        rngs = list(rngs)
+        if len(rngs) != len(magnitudes):
+            raise ShapeError(
+                f"{len(magnitudes)} magnitudes but {len(rngs)} rngs"
+            )
+    else:
+        rngs = [None] * len(magnitudes)
+    if references is not None:
+        references = list(references)
+        if len(references) != len(magnitudes):
+            raise ShapeError(
+                f"{len(magnitudes)} magnitudes but {len(references)} "
+                f"references"
+            )
+
+    pairs = [
+        _validated_pair(mag, vis)
+        for mag, vis in zip(magnitudes, visibilities)
+    ]
+    shape = pairs[0][0].shape
+    for k, (mag, _) in enumerate(pairs[1:], start=1):
+        if mag.shape != shape:
+            raise ShapeError(
+                f"record {k} has shape {mag.shape}, batch shape is {shape}; "
+                f"group records by spectrogram geometry before batching"
+            )
+    n_freq, n_frames = shape
+
+    from dataclasses import replace
+    dilation = _clamp_dilation(config.time_dilation, n_frames)
+    net_cfg = replace(config, time_dilation=dilation).network_config()
+
+    networks: List[SpAcLUNet] = []
+    codes: List[np.ndarray] = []
+    normalized = np.empty((len(pairs), 1, n_freq, n_frames),
+                          dtype=config.dtype)
+    scales: List[float] = []
+    for k, ((mag, _), rng) in enumerate(zip(pairs, rngs)):
+        rng_init, rng_code = spawn_generators(as_generator(rng), 2)
+        net = SpAcLUNet(net_cfg, rng=rng_init, dtype=config.dtype)
+        code = net.make_input_code(
+            n_freq, n_frames, rng=rng_code, scale=config.input_scale,
+            dtype=config.dtype,
+        )
+        networks.append(net)
+        codes.append(code.data)
+        norm, scale = _normalize(mag, config)
+        normalized[k, 0] = norm
+        scales.append(scale)
+
+    ref_stack = None
+    if references is not None:
+        ref_stack = np.empty((len(pairs), n_freq, n_frames))
+        for k, ((mag, _), ref) in enumerate(zip(pairs, references)):
+            ref = _validated_reference(ref, mag)
+            ref_stack[k] = (ref ** config.compression) / scales[k]
+
+    mask = np.stack(
+        [vis for _, vis in pairs]
+    ).astype(config.dtype)[:, None]
+    batched = BatchedSpAcLUNet.from_networks(networks)
+    fit = fit_batched(
+        batched,
+        code=np.concatenate(codes, axis=0),
+        target=normalized,
+        mask=mask,
+        iterations=config.iterations,
+        learning_rate=config.learning_rate,
+        early_stop=early_stop,
+        reference=ref_stack,
+    )
+
+    results: List[InpaintingResult] = []
+    for k, net in enumerate(networks):
+        net.load_state_dict(fit.state_dicts[k])
+        results.append(InpaintingResult(
+            output=_restore(fit.outputs[k], scales[k], config),
+            losses=fit.losses[k],
+            concealed_errors=(
+                fit.concealed_errors[k] if fit.concealed_errors is not None
+                else None
+            ),
+            network=net,
+            scale=scales[k],
+            stop_iteration=fit.stop_iterations[k],
+        ))
+    return results

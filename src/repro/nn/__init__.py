@@ -27,6 +27,15 @@ from repro.nn.layers import (
 from repro.nn.loss import l1_loss, masked_mse_loss, mse_loss
 from repro.nn.optim import SGD, Adam, CosineAnnealingLR, Optimizer, RMSprop, StepLR
 from repro.nn.unet import PRIOR_KINDS, SpAcLUNet, UNetConfig, build_prior_network
+from repro.nn.batchfit import (
+    BatchedSpAcLUNet,
+    BatchFitResult,
+    EarlyStopConfig,
+    batched_conv2d,
+    batched_harmonic_conv2d,
+    batched_instance_norm,
+    fit_batched,
+)
 from repro.nn.serialization import load_state, save_state
 from repro.nn import functional, init
 from repro.nn.gradcheck import check_gradients, numerical_gradient
@@ -41,6 +50,9 @@ __all__ = [
     "l1_loss", "masked_mse_loss", "mse_loss",
     "SGD", "Adam", "CosineAnnealingLR", "Optimizer", "RMSprop", "StepLR",
     "PRIOR_KINDS", "SpAcLUNet", "UNetConfig", "build_prior_network",
+    "BatchedSpAcLUNet", "BatchFitResult", "EarlyStopConfig",
+    "batched_conv2d", "batched_harmonic_conv2d", "batched_instance_norm",
+    "fit_batched",
     "load_state", "save_state",
     "functional", "init",
     "check_gradients", "numerical_gradient",

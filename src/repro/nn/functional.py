@@ -31,6 +31,114 @@ def _pair(value) -> Tuple[int, int]:
 
 
 # --------------------------------------------------------------------- #
+# Cached kernel-tap plans
+#
+# Like repro.dsp.plan.StftPlan caches a geometry's window and frame grid,
+# these memoise the per-(shape, kernel, stride, dilation) slicing plans
+# the convolutions walk on every call.  Deep-prior fits re-run the same
+# few layer shapes hundreds of times per record, so the plan for a given
+# geometry is computed exactly once per process.
+# --------------------------------------------------------------------- #
+@lru_cache(maxsize=512)
+def conv_tap_plan(
+    h_pad: int, w_pad: int, kh: int, kw: int,
+    sh: int, sw: int, dh: int, dw: int,
+) -> tuple:
+    """Output extents and per-tap input slices of a 2-D convolution.
+
+    Returns ``(oh, ow, taps)`` where ``taps`` is a tuple of
+    ``((di, dj), (h_slice, w_slice))`` pairs, one per kernel tap, over an
+    input already padded to ``(h_pad, w_pad)``.  ``oh``/``ow`` may be
+    non-positive for kernels larger than the input; callers raise.
+    """
+    oh = (h_pad - (kh - 1) * dh - 1) // sh + 1
+    ow = (w_pad - (kw - 1) * dw - 1) // sw + 1
+    taps = tuple(
+        (
+            (di, dj),
+            (
+                slice(di * dh, di * dh + (oh - 1) * sh + 1, sh),
+                slice(dj * dw, dj * dw + (ow - 1) * sw + 1, sw),
+            ),
+        )
+        for di in range(kh) for dj in range(kw)
+    )
+    return oh, ow, taps
+
+
+@lru_cache(maxsize=256)
+def harmonic_gather_plan(n_freq: int, n_harmonics: int, anchor: int) -> tuple:
+    """Per-harmonic gather plan of the frequency remap.
+
+    The in-band rows of :func:`harmonic_index_map` are always a prefix
+    (the index ``round(k f / anchor)`` is non-decreasing), so each
+    harmonic gathers ``n_valid`` rows and zero-fills the rest.  When the
+    row indices form an arithmetic progression (always true for
+    ``anchor = 1``, where harmonic ``k`` reads rows ``0, k, 2k, ...``)
+    the gather is a strided slice copy instead of fancy indexing.
+
+    Returns one ``(n_valid, row_slice_or_None, rows_or_None)`` triple per
+    harmonic: exactly one of the last two is set.
+    """
+    indices, valid = harmonic_index_map(n_freq, n_harmonics, anchor)
+    plan = []
+    for k in range(n_harmonics):
+        n_valid = int(valid[k].sum())
+        rows = indices[k][:n_valid]
+        if n_valid >= 2:
+            steps = np.diff(rows)
+            uniform = steps.min() == steps.max() and steps[0] > 0
+        else:
+            uniform = True
+        if uniform:
+            step = int(rows[1] - rows[0]) if n_valid >= 2 else 1
+            start = int(rows[0]) if n_valid else 0
+            plan.append(
+                (n_valid, slice(start, start + step * n_valid, step), None)
+            )
+        else:
+            rows = np.ascontiguousarray(rows)
+            rows.setflags(write=False)
+            plan.append((n_valid, None, rows))
+    return tuple(plan)
+
+
+@lru_cache(maxsize=256)
+def harmonic_scatter_plan(n_freq: int, n_harmonics: int, anchor: int) -> tuple:
+    """Per-harmonic adjoint-scatter plan of the frequency gather.
+
+    For each harmonic row of :func:`harmonic_index_map`, precomputes the
+    in-band source rows, their target input bins, and whether those bins
+    are duplicate-free.  Unique rows scatter with a plain fancy-index
+    ``+=`` (one vectorised add); only rows with duplicate targets (which
+    occur when ``anchor > k``, e.g. the Zhang-baseline ``anchor=2``) need
+    the much slower ``np.add.at``.
+    """
+    indices, valid = harmonic_index_map(n_freq, n_harmonics, anchor)
+    plan = []
+    for k in range(n_harmonics):
+        rows = np.flatnonzero(valid[k])
+        targets = indices[k][rows]
+        rows.setflags(write=False)
+        targets.setflags(write=False)
+        plan.append((rows, targets, np.unique(targets).size == targets.size))
+    return tuple(plan)
+
+
+@lru_cache(maxsize=512)
+def harmonic_tap_plan(n_time: int, kt: int, time_dilation: int) -> tuple:
+    """Per-time-tap slices of a dilated harmonic convolution.
+
+    One ``slice`` per time tap ``dt``, selecting the ``n_time``-frame
+    window starting at ``dt * time_dilation`` of the padded time axis.
+    """
+    return tuple(
+        slice(dt * time_dilation, dt * time_dilation + n_time)
+        for dt in range(kt)
+    )
+
+
+# --------------------------------------------------------------------- #
 # Standard 2-D convolution
 # --------------------------------------------------------------------- #
 def conv2d(
@@ -71,9 +179,8 @@ def conv2d(
     c_out, _, kh, kw = weight.shape
 
     xp = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    h_pad, w_pad = xp.shape[2], xp.shape[3]
-    oh = (h_pad - (kh - 1) * dh - 1) // sh + 1
-    ow = (w_pad - (kw - 1) * dw - 1) // sw + 1
+    oh, ow, taps = conv_tap_plan(xp.shape[2], xp.shape[3], kh, kw,
+                                 sh, sw, dh, dw)
     if oh <= 0 or ow <= 0:
         raise ShapeError(
             f"conv2d output would be empty: input {x.shape}, kernel "
@@ -83,16 +190,11 @@ def conv2d(
     out_data = np.zeros((n, c_out, oh, ow), dtype=x.dtype)
     # Loop over kernel taps; each tap is one big GEMM.  kh*kw is small
     # (<= 25) so this beats materialising a full im2col buffer.
-    for di in range(kh):
-        for dj in range(kw):
-            patch = xp[
-                :, :,
-                di * dh: di * dh + (oh - 1) * sh + 1: sh,
-                dj * dw: dj * dw + (ow - 1) * sw + 1: sw,
-            ]
-            out_data += np.einsum(
-                "oc,nchw->nohw", weight.data[:, :, di, dj], patch, optimize=True
-            )
+    for (di, dj), (sl_h, sl_w) in taps:
+        patch = xp[:, :, sl_h, sl_w]
+        out_data += np.einsum(
+            "oc,nchw->nohw", weight.data[:, :, di, dj], patch, optimize=True
+        )
     if bias is not None:
         out_data += bias.data.reshape(1, c_out, 1, 1)
 
@@ -105,20 +207,14 @@ def conv2d(
     def backward(grad):
         grad_xp = np.zeros_like(x_data_padded)
         grad_w = np.zeros_like(w_data)
-        for di in range(kh):
-            for dj in range(kw):
-                sl = (
-                    slice(None), slice(None),
-                    slice(di * dh, di * dh + (oh - 1) * sh + 1, sh),
-                    slice(dj * dw, dj * dw + (ow - 1) * sw + 1, sw),
-                )
-                patch = x_data_padded[sl]
-                grad_w[:, :, di, dj] = np.einsum(
-                    "nohw,nchw->oc", grad, patch, optimize=True
-                )
-                grad_xp[sl] += np.einsum(
-                    "oc,nohw->nchw", w_data[:, :, di, dj], grad, optimize=True
-                )
+        for (di, dj), (sl_h, sl_w) in taps:
+            patch = x_data_padded[:, :, sl_h, sl_w]
+            grad_w[:, :, di, dj] = np.einsum(
+                "nohw,nchw->oc", grad, patch, optimize=True
+            )
+            grad_xp[:, :, sl_h, sl_w] += np.einsum(
+                "oc,nohw->nchw", w_data[:, :, di, dj], grad, optimize=True
+            )
         grad_x = grad_xp[:, :, ph: ph + h, pw: pw + w]
         grads = [grad_x, grad_w]
         if bias is not None:
@@ -213,6 +309,7 @@ def harmonic_conv2d(
     indices, valid = harmonic_index_map(n_freq, n_harm, anchor)
     half = kt // 2
     pad_t = half * time_dilation
+    taps = harmonic_tap_plan(n_time, kt, time_dilation)
     xp = np.pad(x.data, ((0, 0), (0, 0), (0, 0), (pad_t, pad_t)))
 
     # Gather per-harmonic frequency-remapped copies once: (H, N, C, F, Tp).
@@ -221,9 +318,8 @@ def harmonic_conv2d(
 
     out_data = np.zeros((n, c_out, n_freq, n_time), dtype=x.dtype)
     for k in range(n_harm):
-        for dt in range(kt):
-            t0 = dt * time_dilation
-            patch = gathered[:, :, k, :, t0: t0 + n_time]
+        for dt, sl_t in enumerate(taps):
+            patch = gathered[:, :, k, :, sl_t]
             out_data += np.einsum(
                 "oc,ncft->noft", weight.data[:, :, k, dt], patch, optimize=True
             )
@@ -243,13 +339,12 @@ def harmonic_conv2d(
             (n, c_in, n_harm, n_freq, xp_shape[-1]), dtype=x_dtype
         )
         for k in range(n_harm):
-            for dt in range(kt):
-                t0 = dt * time_dilation
-                patch = gathered[:, :, k, :, t0: t0 + n_time]
+            for dt, sl_t in enumerate(taps):
+                patch = gathered[:, :, k, :, sl_t]
                 grad_w[:, :, k, dt] = np.einsum(
                     "noft,ncft->oc", grad, patch, optimize=True
                 )
-                grad_gathered[:, :, k, :, t0: t0 + n_time] += np.einsum(
+                grad_gathered[:, :, k, :, sl_t] += np.einsum(
                     "oc,noft->ncft", w_data[:, :, k, dt], grad, optimize=True
                 )
         grad_gathered *= valid[None, None, :, :, None]

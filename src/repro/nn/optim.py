@@ -78,6 +78,11 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        # The update is fused into in-place buffer arithmetic: the moment
+        # buffers are rescaled and accumulated without reallocating, and
+        # the parameter is updated in place.  Elementwise operation order
+        # is unchanged, so results are bitwise identical to the textbook
+        # out-of-place formulation this replaced.
         self._step_count += 1
         t = self._step_count
         bc1 = 1.0 - self.beta1 ** t
@@ -88,11 +93,12 @@ class Adam(Optimizer):
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
-            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
-            m_hat = self._m[i] / bc1
-            v_hat = self._v[i] / bc2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m, v = self._m[i], self._v[i]
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad * grad
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
 
 
 class RMSprop(Optimizer):

@@ -251,8 +251,26 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
+    def _coerce_operand(self, other: ArrayLike) -> "Tensor":
+        """Weak scalar promotion: python numbers adopt this tensor's dtype.
+
+        ``astensor(0.5)`` alone would produce a float64 tensor, and one
+        stray scalar (a loss normaliser, an ``eps``) would silently
+        promote a float32 computation — activations, gradients and, via
+        the optimiser, the parameters themselves — to float64.  Matching
+        NumPy's own NEP-50 semantics keeps the configured dtype in
+        charge.
+        """
+        # Exact type check: np.float64 subclasses float but is a STRONG
+        # scalar under NEP 50 — demoting it would drop precision a caller
+        # asked for by passing a NumPy scalar.
+        if type(other) in (int, float) \
+                and np.issubdtype(self.data.dtype, np.floating):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return astensor(other)
+
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = astensor(other)
+        other = self._coerce_operand(other)
         out = self._make(self.data + other.data, (self, other), "add")
 
         def backward(grad):
@@ -272,7 +290,7 @@ class Tensor:
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = astensor(other)
+        other = self._coerce_operand(other)
         out = self._make(self.data - other.data, (self, other), "sub")
 
         def backward(grad):
@@ -285,10 +303,10 @@ class Tensor:
         return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return astensor(other).__sub__(self)
+        return self._coerce_operand(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = astensor(other)
+        other = self._coerce_operand(other)
         out = self._make(self.data * other.data, (self, other), "mul")
         a_data, b_data = self.data, other.data
 
@@ -304,7 +322,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = astensor(other)
+        other = self._coerce_operand(other)
         out = self._make(self.data / other.data, (self, other), "div")
         a_data, b_data = self.data, other.data
 
@@ -318,7 +336,7 @@ class Tensor:
         return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return astensor(other).__truediv__(self)
+        return self._coerce_operand(other).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
@@ -410,9 +428,12 @@ class Tensor:
         out = self._make(
             np.where(mask, self.data, negative_slope * self.data), (self,), "leaky_relu"
         )
+        # The gradient multiplier must stay in g's dtype: np.where(mask,
+        # 1.0, slope) would be float64 and silently promote every float32
+        # gradient (and, through the optimiser, every parameter) upstream.
         self._attach(
             out, (self,),
-            lambda g: (g * np.where(mask, 1.0, negative_slope),),
+            lambda g: (np.where(mask, g, negative_slope * g),),
             "leaky_relu",
         )
         return out

@@ -255,6 +255,14 @@ class DHFSpec(SeparatorSpec):
     depth: int = 3
     prior_time_dilation: int = 13
     seed: int = 20240623
+    #: Batched deep-prior engine knobs (see :class:`repro.core.DHFConfig`):
+    #: ``batch_fit`` routes multi-record ``separate_batch`` calls through
+    #: one stacked fit per same-geometry round group;
+    #: ``early_stop_patience`` > 0 lets converged records drop out of the
+    #: batch (0 keeps batched fits equivalent to sequential ones).
+    batch_fit: bool = True
+    early_stop_patience: int = 0
+    early_stop_rel_tol: float = 1e-3
 
     def __post_init__(self):
         self._check_positive_int(
@@ -291,6 +299,9 @@ class DHFSpec(SeparatorSpec):
                 time_dilation=self.prior_time_dilation,
             ),
             seed=self.seed,
+            batch_fit=self.batch_fit,
+            early_stop_patience=self.early_stop_patience,
+            early_stop_rel_tol=self.early_stop_rel_tol,
         )
 
     @classmethod

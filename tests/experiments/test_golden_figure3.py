@@ -1,0 +1,126 @@
+"""Golden regression fixtures for the Fig. 3 learned-prior comparison.
+
+Pins the concealed-region reconstruction errors the four prior-network
+variants produce for a fixed (preset, seed, mixture) configuration —
+the learned-prior path's counterpart of the Table 2 goldens.  Any change
+to the deep-prior fitting stack (autograd ops, plan caches, optimiser
+fusion, network init) that shifts these numbers fails here with a
+per-variant diff instead of slipping through.
+
+Regenerate intentionally (after verifying the shift is wanted) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_figure3.py -q
+
+and commit the updated JSON alongside the change that moved the numbers.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import get_preset
+from repro.experiments import ExperimentContext
+from repro.experiments.figure3 import run_figure3
+from repro.nn.unet import PRIOR_KINDS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "figure3_smoke.json"
+
+#: Fixture configuration; changing any of these invalidates the fixture.
+PRESET = "smoke"
+DURATION_S = 12.0
+SEED = 3
+MIXTURE = "msig1"
+TARGET = "maternal"
+
+#: Relative tolerance on the concealed-region MSEs.  The fits run in
+#: float32, so cross-platform FFT/BLAS noise can move the trajectories a
+#: little; genuine method changes move these numbers by far more.
+MSE_RTOL = 1e-3
+
+_REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    context = ExperimentContext(
+        preset=get_preset(PRESET).scaled(signal_duration_s=DURATION_S),
+        seed=SEED,
+    )
+    return run_figure3(context, mixture_name=MIXTURE, target=TARGET)
+
+
+def _serialize(result) -> dict:
+    return {
+        "config": {
+            "preset": PRESET,
+            "duration_s": DURATION_S,
+            "seed": SEED,
+            "mixture": MIXTURE,
+            "target": TARGET,
+        },
+        "final_errors": {
+            kind: float(result.final_errors[kind]) for kind in PRIOR_KINDS
+        },
+        "best_errors": {
+            kind: float(result.best_errors[kind]) for kind in PRIOR_KINDS
+        },
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {GOLDEN_PATH}. Generate it with "
+            f"REPRO_REGEN_GOLDEN=1 and commit the file."
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.skipif(not _REGEN, reason="set REPRO_REGEN_GOLDEN=1 to regenerate")
+def test_regenerate_golden(figure3_result):
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(_serialize(figure3_result), indent=2, sort_keys=True) + "\n"
+    )
+    pytest.skip(f"golden fixture rewritten at {GOLDEN_PATH}")
+
+
+@pytest.mark.skipif(_REGEN, reason="regenerating, comparison suspended")
+class TestGoldenFigure3:
+    def test_config_matches(self):
+        golden = _load_golden()
+        assert golden["config"] == {
+            "preset": PRESET, "duration_s": DURATION_S, "seed": SEED,
+            "mixture": MIXTURE, "target": TARGET,
+        }, "fixture was generated for a different configuration"
+
+    def test_every_variant_covered(self, figure3_result):
+        golden = _load_golden()
+        assert set(golden["final_errors"]) == set(PRIOR_KINDS)
+        assert set(figure3_result.final_errors) == set(PRIOR_KINDS)
+
+    @pytest.mark.parametrize("field", ["final_errors", "best_errors"])
+    def test_errors_match_golden(self, figure3_result, field):
+        golden = _load_golden()
+        got = _serialize(figure3_result)
+        drift = []
+        for kind, reference in golden[field].items():
+            value = got[field][kind]
+            if abs(value - reference) / max(abs(reference), 1e-300) > MSE_RTOL:
+                drift.append(
+                    f"{kind}: {field} {value:.6e} vs golden {reference:.6e}"
+                )
+        assert not drift, (
+            "learned-prior errors drifted from the golden fixture:\n  "
+            + "\n  ".join(drift)
+        )
+
+    def test_spectral_accuracy_ranking_holds(self, figure3_result):
+        """The paper's qualitative claim, independent of exact numbers."""
+        best = figure3_result.best_errors
+        assert best["spac"] < best["conventional"]
+        assert best["spac_dilated"] < best["conventional"]

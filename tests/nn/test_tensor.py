@@ -268,3 +268,20 @@ class TestHypothesisGradients:
         t.tanh().sum().backward()
         assert np.all(t.grad <= 1.0 + 1e-12)
         assert np.all(t.grad >= 0.0)
+
+
+class TestScalarPromotion:
+    """Weak python scalars adopt the tensor dtype; NumPy scalars stay strong."""
+
+    def test_python_scalars_keep_float32(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float32))
+        for out in (t * 0.5, t + 1, 1.0 - t, t / 2.0, 2.0 / t):
+            assert out.dtype == np.float32, out.dtype
+
+    def test_numpy_float64_scalar_stays_strong(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float32))
+        assert (t * np.float64(0.5)).dtype == np.float64
+
+    def test_float64_tensors_unaffected(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float64))
+        assert (t * 0.5).dtype == np.float64
