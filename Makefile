@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test conformance bench bench-streaming bench-inpainting bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
@@ -14,6 +14,7 @@ help:
 	@echo "make bench           - batched-pipeline speedup benchmark (asserts >= 3x)"
 	@echo "make bench-streaming - streaming latency/throughput benchmark"
 	@echo "make bench-inpainting- batched deep-prior fit benchmark (asserts >= 2x)"
+	@echo "make bench-figure6   - batched in-vivo cohort benchmark (asserts >= 2x)"
 	@echo "make bench-all       - all paper-artefact benchmarks (pytest-benchmark)"
 	@echo "make docs-check      - docs exist + documented names import + registry documented"
 	@echo "make smoke           - CI-style smoke: tests + conformance + docs-check + both bench --smoke"
@@ -34,6 +35,9 @@ bench-streaming:
 bench-inpainting:
 	$(PYTHON) benchmarks/bench_inpainting.py
 
+bench-figure6:
+	$(PYTHON) benchmarks/bench_figure6_spo2.py
+
 bench-all:
 	$(PYTHON) -m pytest benchmarks/bench_pipeline.py $(wildcard benchmarks/bench_*.py) -q -s
 
@@ -46,7 +50,8 @@ smoke:
 # The conformance suite reaches ci twice already — collected by the
 # tier-1 pytest run and explicitly inside scripts/smoke.sh — so no
 # third invocation here.  bench-inpainting runs at full scale (the >= 2x
-# hot-path assertion); its --smoke variant also runs inside smoke.sh.
+# hot-path assertion); its --smoke variant also runs inside smoke.sh,
+# as does bench_figure6_spo2 --smoke (the batched in-vivo cohort gate).
 ci: bench-inpainting
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh

@@ -34,18 +34,26 @@ PUBLIC_PACKAGES = [
     "repro.baselines",
     "repro.metrics",
     "repro.synth",
+    "repro.tfo",
     "repro.experiments",
 ]
 
 #: (package, attribute) pairs that must resolve AND be mentioned in the
-#: docs.  The batched deep-prior engine is the DHF hot path; shipping a
-#: change that renames or undocuments its entry points fails here.
+#: docs.  The batched deep-prior engine is the DHF hot path and the TFO
+#: monitoring subsystem is the paper's application surface; shipping a
+#: change that renames or undocuments their entry points fails here.
 REQUIRED_DOC_NAMES = [
     ("repro.core", "inpaint_spectrograms"),
     ("repro.core", "EarlyStopConfig"),
     ("repro.nn", "BatchedSpAcLUNet"),
     ("repro.nn", "fit_batched"),
     ("repro.core", "DHFSeparator"),
+    ("repro.tfo", "run_in_vivo_batch"),
+    ("repro.tfo", "SpO2Monitor"),
+    ("repro.tfo", "cohort_records"),
+    ("repro.tfo", "AcExtractor"),
+    ("repro.tfo.ppg", "ac_component"),
+    ("repro.experiments", "run_monitor"),
 ]
 
 

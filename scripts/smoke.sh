@@ -25,4 +25,7 @@ python benchmarks/bench_streaming.py --smoke
 echo "== bench_inpainting --smoke =="
 python benchmarks/bench_inpainting.py --smoke
 
+echo "== bench_figure6_spo2 --smoke =="
+python benchmarks/bench_figure6_spo2.py --smoke
+
 echo "smoke: OK"

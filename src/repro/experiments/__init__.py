@@ -24,8 +24,14 @@ from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.figure4 import Figure4Result, run_figure4
 from repro.experiments.figure5 import Figure5Point, Figure5Result, run_figure5
-from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure6 import (
+    FIGURE6_METHODS,
+    Figure6Result,
+    figure6_specs,
+    run_figure6,
+)
 from repro.experiments.figure7 import Figure7Result, run_figure7
+from repro.experiments.monitor import MonitorResult, run_monitor
 from repro.experiments.ablations import (
     SweepResult,
     run_anchor_pooling_ablation,
@@ -45,8 +51,9 @@ __all__ = [
     "Figure3Result", "run_figure3",
     "Figure4Result", "run_figure4",
     "Figure5Point", "Figure5Result", "run_figure5",
-    "Figure6Result", "run_figure6",
+    "FIGURE6_METHODS", "Figure6Result", "figure6_specs", "run_figure6",
     "Figure7Result", "run_figure7",
+    "MonitorResult", "run_monitor",
     "SweepResult", "run_anchor_pooling_ablation", "run_dilation_ablation",
     "run_phase_policy_ablation",
 ]

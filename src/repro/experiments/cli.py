@@ -38,6 +38,7 @@ from repro.experiments.figure4 import run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
+from repro.experiments.monitor import run_monitor
 from repro.experiments.ablations import (
     run_anchor_pooling_ablation,
     run_dilation_ablation,
@@ -55,6 +56,7 @@ RUNNERS: Dict[str, Callable] = {
     "figure5": run_figure5,
     "figure6": run_figure6,
     "figure7": run_figure7,
+    "monitor": run_monitor,
     "ablation-dilation": run_dilation_ablation,
     "ablation-anchor-pooling": run_anchor_pooling_ablation,
     "ablation-phase": run_phase_policy_ablation,
@@ -62,6 +64,9 @@ RUNNERS: Dict[str, Callable] = {
 
 #: Commands that inspect the registry instead of running an experiment.
 COMMANDS = ("methods",)
+
+#: Artefacts whose method line-up is selectable with --method/--spec.
+METHOD_ARTEFACTS = ("table2", "figure6", "monitor")
 
 
 def render_methods() -> str:
@@ -153,13 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--method", action="append", default=None, metavar="NAME",
-        help="run only this registered method (table2; repeatable — "
-             "see the 'methods' artefact for names)",
+        help="run only this registered method (table2/figure6: "
+             "repeatable; monitor: exactly one — see the 'methods' "
+             "artefact for names)",
     )
     parser.add_argument(
         "--spec", action="append", default=None, metavar="JSON",
-        help="run a custom separator spec through table2: inline JSON "
-             "or @path to a JSON file (repeatable)",
+        help="run a custom separator spec through table2/figure6/"
+             "monitor: inline JSON or @path to a JSON file (repeatable)",
     )
     parser.add_argument(
         "--output", default=None,
@@ -187,42 +193,58 @@ def main(argv=None) -> int:
                 handle.write(text + "\n")
         return 0
 
-    table2_kwargs = {}
+    method_kwargs = {}
     if args.method or args.spec:
-        if args.artefact != "table2":
+        if args.artefact not in METHOD_ARTEFACTS:
             raise ConfigurationError(
-                "--method/--spec select methods for table2; run "
+                "--method/--spec select methods for one of "
+                f"{'/'.join(METHOD_ARTEFACTS)}; run e.g. "
                 "'table2 --method ...' (got artefact "
                 f"{args.artefact!r})"
             )
-        if args.method:
-            # Resolve now so typos fail fast with a did-you-mean.
-            table2_kwargs["methods"] = tuple(
-                display_method_name(name) for name in args.method
-            )
+        if args.artefact == "monitor":
+            picked = len(args.method or []) + len(args.spec or [])
+            if picked > 1:
+                raise ConfigurationError(
+                    "the monitor streams one method; pass a single "
+                    "--method or --spec"
+                )
+            if args.spec:
+                method_kwargs["method"] = parse_spec_argument(args.spec[0])
+            else:
+                # Resolve now so typos fail fast with a did-you-mean.
+                display_method_name(args.method[0])
+                method_kwargs["method"] = args.method[0]
         else:
-            table2_kwargs["methods"] = ()  # custom specs only
-        if args.spec:
-            specs = {}
-            for raw in args.spec:
-                data = load_spec_dict(raw)
-                spec = SeparatorSpec.from_dict(data)
-                # Label by the *requested* name so an entry like
-                # repet-ext keeps its own column heading even though its
-                # spec dispatches through the shared repet spec class.
-                requested = str(data.get("method", spec.method))
-                label = f"{display_method_name(requested)} (spec)"
-                if label in specs:
-                    label = f"{label} #{len(specs)}"
-                specs[label] = spec
-            table2_kwargs["specs"] = specs
+            if args.method:
+                # Resolve now so typos fail fast with a did-you-mean.
+                method_kwargs["methods"] = tuple(
+                    display_method_name(name) for name in args.method
+                )
+            else:
+                method_kwargs["methods"] = ()  # custom specs only
+            if args.spec:
+                specs = {}
+                for raw in args.spec:
+                    data = load_spec_dict(raw)
+                    spec = SeparatorSpec.from_dict(data)
+                    # Label by the *requested* name so an entry like
+                    # repet-ext keeps its own column heading even though
+                    # its spec dispatches through the shared repet spec
+                    # class.
+                    requested = str(data.get("method", spec.method))
+                    label = f"{display_method_name(requested)} (spec)"
+                    if label in specs:
+                        label = f"{label} #{len(specs)}"
+                    specs[label] = spec
+                method_kwargs["specs"] = specs
 
     context = ExperimentContext.from_name(args.preset, seed=args.seed)
     names = sorted(RUNNERS) if args.artefact == "all" else [args.artefact]
     reports = [
         run_one(
             name, context,
-            **(table2_kwargs if name == "table2" else {}),
+            **(method_kwargs if name == args.artefact else {}),
         )
         for name in names
     ]

@@ -5,30 +5,43 @@ art of [18]) and DHF; the Pearson correlation of SpO2 estimates with the
 blood-draw SaO2 readings is compared against the paper's 0.24→0.81
 (sheep 1) and 0.44→0.92 (sheep 2), along with the average
 correlation-error improvement (paper: 80.5 %).
+
+The whole comparison runs as batched cohort separations through
+:func:`repro.tfo.run_in_vivo_batch`: every (sheep, wavelength) channel of
+a method becomes one record of a single
+:meth:`repro.service.SeparationService.separate_batch` call, so the
+wavelength pairs of each subject share stacked DHF deep-prior fits and
+the baselines run their vectorized batch hooks.  Methods are registry
+specs — pass ``methods=`` (names) or ``specs=`` (display label →
+:class:`repro.service.SeparatorSpec`) to change the line-up, mirroring
+``run_table2``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import ExperimentContext, build_dhf
-from repro.service import build_separator
+from repro.experiments.common import ExperimentContext, table2_specs
 from repro.experiments.paper_reference import PAPER_FIG6_CORRELATION
-from repro.metrics import correlation_error, correlation_error_improvement
+from repro.metrics import correlation_error_improvement
+from repro.service import SeparatorSpec
 from repro.tfo import (
     InVivoResult,
     make_sheep_recording,
     oracle_in_vivo,
-    run_in_vivo,
+    run_in_vivo_batch,
     sheep_names,
 )
 from repro.utils.logging import get_logger
 from repro.utils.tables import TextTable
 
 _LOG = get_logger("experiments.figure6")
+
+#: The Fig. 6b line-up: the prior state of the art, then the paper's method.
+FIGURE6_METHODS = ("Spect. Masking", "DHF")
 
 
 @dataclass
@@ -76,40 +89,65 @@ class Figure6Result:
         return "\n".join(lines)
 
 
+def figure6_specs(
+    context: ExperimentContext,
+    methods: Optional[Sequence[str]] = None,
+    specs: Optional[Mapping[str, SeparatorSpec]] = None,
+) -> Dict[str, SeparatorSpec]:
+    """The Fig. 6 method line-up as registry specs, keyed by display name.
+
+    ``methods`` accepts display spellings or registry names/aliases of
+    any registered method (resolved exactly like ``run_table2``; DHF is
+    scaled by the preset; ``()`` runs custom specs only); ``specs``
+    appends explicit custom specs, replacing on label collision.
+    """
+    resolved = table2_specs(
+        context.preset,
+        include=tuple(methods) if methods is not None else FIGURE6_METHODS,
+    )
+    for label, spec in (specs or {}).items():
+        resolved[label] = spec
+    return resolved
+
+
 def run_figure6(
     context: Optional[ExperimentContext] = None,
     duration_s: Optional[float] = None,
     sheep: Optional[list] = None,
+    methods: Optional[Sequence[str]] = None,
+    specs: Optional[Mapping[str, SeparatorSpec]] = None,
+    workers: int = 0,
 ) -> Figure6Result:
     """Run the full in-vivo comparison on both simulated ewes.
 
     ``duration_s`` defaults to four times the preset's synthetic-signal
     duration (the paper's recordings are 40 minutes; the fast preset uses
-    a proportionally shorter protocol).
+    a proportionally shorter protocol).  The cohort — every requested
+    sheep at both wavelengths — runs through one batched service call
+    per method; ``workers`` fans the batch out across a thread pool.
     """
     context = context or ExperimentContext.from_name()
     if duration_s is None:
         duration_s = 4.0 * context.duration_s
     sheep = sheep or sheep_names()
-    methods = {
-        "Spect. Masking": build_separator("spectral-masking"),
-        "DHF": build_dhf(context.preset),
-    }
+    method_specs = figure6_specs(context, methods=methods, specs=specs)
+    recordings = [
+        make_sheep_recording(name, duration_s=duration_s, seed=context.seed)
+        for name in sheep
+    ]
+    _LOG.info(
+        "figure6: batched cohort of %d sheep x 2 wavelengths x %d methods",
+        len(recordings), len(method_specs),
+    )
+    results = run_in_vivo_batch(recordings, method_specs, workers=workers)
     correlations: Dict[str, Dict[str, float]] = {}
     oracle: Dict[str, float] = {}
-    results: Dict[str, Dict[str, InVivoResult]] = {}
-    for name in sheep:
-        recording = make_sheep_recording(
-            name, duration_s=duration_s, seed=context.seed,
-        )
-        oracle[name] = oracle_in_vivo(recording).correlation
-        correlations[name] = {}
-        results[name] = {}
-        for method_name, separator in methods.items():
-            _LOG.info("figure6: %s on %s", method_name, name)
-            outcome = run_in_vivo(recording, separator)
-            correlations[name][method_name] = outcome.correlation
-            results[name][method_name] = outcome
+    for recording in recordings:
+        oracle[recording.name] = oracle_in_vivo(recording).correlation
+        correlations[recording.name] = {
+            method: result.correlation
+            for method, result in results[recording.name].items()
+        }
     return Figure6Result(
         correlations=correlations,
         oracle_correlations=oracle,

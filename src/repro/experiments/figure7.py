@@ -22,8 +22,10 @@ from repro.core.masking import (
     harmonic_ridge_mask,
 )
 from repro.dsp.stft import StftResult, stft
-from repro.experiments.common import ExperimentContext, build_dhf
+from repro.experiments.common import ExperimentContext
+from repro.service import DHFSpec
 from repro.tfo import make_sheep_recording, separate_fetal_both_wavelengths
+from repro.tfo.ppg import ac_component
 from repro.utils.logging import get_logger
 from repro.utils.tables import TextTable
 
@@ -82,9 +84,12 @@ def run_figure7(
     recording = make_sheep_recording(
         sheep, duration_s=duration_s, seed=context.seed,
     )
-    dhf = build_dhf(context.preset)
     _LOG.info("figure7: DHF separation on %s", sheep)
-    fetal = separate_fetal_both_wavelengths(recording, dhf)
+    # Both wavelength channels run as one service batch, sharing their
+    # stacked deep-prior fits (see repro.tfo.monitor).
+    fetal = separate_fetal_both_wavelengths(
+        recording, DHFSpec.from_preset(context.preset)
+    )
 
     before: Dict[int, float] = {}
     after: Dict[int, float] = {}
@@ -95,7 +100,7 @@ def run_figure7(
     hop = max(1, n_fft // 4)
     fetal_track = recording.f0_tracks()["fetal"]
     for wl, raw in recording.signals.ppg.items():
-        ac_part = raw - recording.signals.dc[wl]
+        ac_part = ac_component(raw, recording.signals.dc[wl])
         spec_before = stft(ac_part, fs, n_fft=n_fft, hop=hop)
         spec_after = stft(fetal[wl], fs, n_fft=n_fft, hop=hop)
         frames = f0_track_to_frames(fetal_track, fs, spec_before)

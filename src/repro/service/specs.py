@@ -263,6 +263,12 @@ class DHFSpec(SeparatorSpec):
     batch_fit: bool = True
     early_stop_patience: int = 0
     early_stop_rel_tol: float = 1e-3
+    #: Deep-prior fit dtype, as a JSON-able name.  ``"float32"``
+    #: (default) is the speed-oriented production setting;
+    #: ``"float64"`` tightens the batched-vs-sequential fit equivalence
+    #: to the documented <= 1e-8 (see docs/architecture.md, "Deep-prior
+    #: fitting engine") at roughly twice the fit cost.
+    dtype: str = "float32"
 
     def __post_init__(self):
         self._check_positive_int(
@@ -271,6 +277,11 @@ class DHFSpec(SeparatorSpec):
             "prior_time_dilation",
         )
         self._check_positive("learning_rate", "bandwidth_bins")
+        if self.dtype not in ("float32", "float64"):
+            raise ConfigurationError(
+                f"DHFSpec.dtype must be 'float32' or 'float64', got "
+                f"{self.dtype!r}"
+            )
         # Cross-field constraints (hop vs window, phase policy, the
         # 'auto' dilation sentinel) are enforced by DHFConfig itself;
         # trigger that validation now so a bad spec fails at build-spec
@@ -279,6 +290,8 @@ class DHFSpec(SeparatorSpec):
 
     def build_config(self):
         """The equivalent :class:`repro.core.DHFConfig`."""
+        import numpy as np
+
         from repro.core import DHFConfig
         from repro.core.inpainting import InpaintingConfig
 
@@ -297,6 +310,7 @@ class DHFSpec(SeparatorSpec):
                 base_channels=self.base_channels,
                 depth=self.depth,
                 time_dilation=self.prior_time_dilation,
+                dtype=np.dtype(self.dtype).type,
             ),
             seed=self.seed,
             batch_fit=self.batch_fit,

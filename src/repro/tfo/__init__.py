@@ -14,6 +14,7 @@ from repro.tfo.ppg import (
     MATERNAL_RATIO,
     RESPIRATION_RATIO,
     WAVELENGTHS,
+    AcExtractor,
     TFOLayerSpec,
     TFOSignals,
     synthesize_tfo,
@@ -32,11 +33,17 @@ from repro.tfo.spo2 import (
     fit_spo2,
     modulation_ratio_at_draws,
 )
-from repro.tfo.experiment import (
+from repro.tfo.monitor import (
+    DrawEstimate,
     InVivoResult,
+    MonitorUpdate,
+    SpO2Monitor,
+    SpO2MonitorResult,
+    cohort_records,
     oracle_in_vivo,
     run_comparison,
     run_in_vivo,
+    run_in_vivo_batch,
     separate_fetal_both_wavelengths,
 )
 
@@ -44,11 +51,13 @@ __all__ = [
     "CALIBRATION_K", "SHEEP_PROFILES", "HypoxiaProfile", "blood_draw_times",
     "ratio_from_sao2", "sao2_from_ratio", "sao2_trajectory",
     "DEFAULT_LAYERS", "MATERNAL_RATIO", "RESPIRATION_RATIO", "WAVELENGTHS",
-    "TFOLayerSpec", "TFOSignals", "synthesize_tfo",
+    "AcExtractor", "TFOLayerSpec", "TFOSignals", "synthesize_tfo",
     "PAPER_DURATION_S", "SheepRecording", "make_sheep_recording",
     "sheep_names",
     "R_WINDOW_S", "SpO2Fit", "ac_component", "dc_component", "fit_spo2",
     "modulation_ratio_at_draws",
-    "InVivoResult", "oracle_in_vivo", "run_comparison", "run_in_vivo",
+    "DrawEstimate", "InVivoResult", "MonitorUpdate", "SpO2Monitor",
+    "SpO2MonitorResult", "cohort_records", "oracle_in_vivo",
+    "run_comparison", "run_in_vivo", "run_in_vivo_batch",
     "separate_fetal_both_wavelengths",
 ]

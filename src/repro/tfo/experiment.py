@@ -1,119 +1,31 @@
-"""End-to-end in-vivo SpO2 experiment (paper Sec. 4.3, Figs. 6–7).
+"""End-to-end in-vivo SpO2 experiment (paper Sec. 4.3, Figs. 6-7).
 
-For each simulated ewe, each method separates the fetal PPG at both
-wavelengths using the shared fundamental tracks; the separated fetal
-signals drive the Eq. 10/11 estimation pipeline, and methods are compared
-by the correlation of their SpO2 estimates with the blood-draw SaO2.
+The implementation lives in :mod:`repro.tfo.monitor`, where the in-vivo
+stack runs through the :mod:`repro.service` layer (batched cohort
+separations, streaming :class:`repro.tfo.monitor.SpO2Monitor`).  This
+module keeps the historical import surface as plain re-exports — no
+deprecation shims, the names simply resolve to the service-backed
+implementations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from repro.tfo.monitor import (
+    InVivoResult,
+    cohort_records,
+    oracle_in_vivo,
+    run_comparison,
+    run_in_vivo,
+    run_in_vivo_batch,
+    separate_fetal_both_wavelengths,
+)
 
-import numpy as np
-
-from repro.separation import Separator
-from repro.tfo.dataset import SheepRecording
-from repro.tfo.spo2 import SpO2Fit, fit_spo2, modulation_ratio_at_draws
-from repro.utils.logging import get_logger
-
-_LOG = get_logger("tfo.experiment")
-
-
-@dataclass
-class InVivoResult:
-    """Outcome of one (sheep, method) in-vivo run.
-
-    ``fetal_estimates`` holds the separated fetal PPG per wavelength;
-    ``fit`` the calibrated SpO2 result whose ``correlation`` is the Fig. 6b
-    number.
-    """
-
-    sheep: str
-    method: str
-    fetal_estimates: Dict[int, np.ndarray]
-    fit: SpO2Fit
-
-    @property
-    def correlation(self) -> float:
-        return self.fit.correlation
-
-
-def separate_fetal_both_wavelengths(
-    recording: SheepRecording,
-    separator: Separator,
-) -> Dict[int, np.ndarray]:
-    """Run a separator on both wavelength channels; return fetal estimates.
-
-    The DC baseline is removed before separation (the quasi-periodic
-    dynamics ride on a large DC term that none of the separation methods
-    model) and the same ground-truth f0 tracks are given to every method,
-    per the paper's known-fundamentals assumption.
-    """
-    f0_tracks = recording.f0_tracks()
-    estimates: Dict[int, np.ndarray] = {}
-    for wavelength, raw in recording.signals.ppg.items():
-        ac_part = raw - recording.signals.dc[wavelength]
-        ac_part = ac_part - float(np.mean(ac_part))
-        _LOG.info(
-            "separating %s at %d nm with %s",
-            recording.name, wavelength, separator.name,
-        )
-        separated = separator.separate(
-            ac_part, recording.sampling_hz, f0_tracks
-        )
-        estimates[wavelength] = separated["fetal"]
-    return estimates
-
-
-def run_in_vivo(
-    recording: SheepRecording,
-    separator: Separator,
-) -> InVivoResult:
-    """Full pipeline for one subject and one separation method."""
-    fetal = separate_fetal_both_wavelengths(recording, separator)
-    ratios = modulation_ratio_at_draws(
-        fetal[740], fetal[850],
-        recording.signals.ppg[740], recording.signals.ppg[850],
-        recording.sampling_hz, recording.draw_times_s,
-    )
-    fit = fit_spo2(ratios, recording.draw_sao2)
-    return InVivoResult(
-        sheep=recording.name,
-        method=separator.name,
-        fetal_estimates=fetal,
-        fit=fit,
-    )
-
-
-def run_comparison(
-    recording: SheepRecording,
-    separators: Mapping[str, Separator],
-) -> Dict[str, InVivoResult]:
-    """Run several methods on one subject (Fig. 6b's DHF vs masking)."""
-    return {
-        name: run_in_vivo(recording, sep)
-        for name, sep in separators.items()
-    }
-
-
-def oracle_in_vivo(recording: SheepRecording) -> InVivoResult:
-    """Upper bound: the estimation pipeline fed ground-truth fetal AC.
-
-    Quantifies how much correlation the R-window averaging and regression
-    lose even with perfect separation — useful context for Fig. 6b.
-    """
-    fetal = {
-        wl: recording.signals.layers[wl]["fetal"]
-        for wl in recording.signals.ppg
-    }
-    ratios = modulation_ratio_at_draws(
-        fetal[740], fetal[850],
-        recording.signals.ppg[740], recording.signals.ppg[850],
-        recording.sampling_hz, recording.draw_times_s,
-    )
-    fit = fit_spo2(ratios, recording.draw_sao2)
-    return InVivoResult(
-        sheep=recording.name, method="oracle", fetal_estimates=fetal, fit=fit,
-    )
+__all__ = [
+    "InVivoResult",
+    "cohort_records",
+    "oracle_in_vivo",
+    "run_comparison",
+    "run_in_vivo",
+    "run_in_vivo_batch",
+    "separate_fetal_both_wavelengths",
+]

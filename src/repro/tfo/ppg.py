@@ -22,7 +22,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataError
 from repro.synth.noise import baseline_drift, white_noise
 from repro.synth.quasiperiodic import (
     QuasiPeriodicSignal,
@@ -32,9 +32,91 @@ from repro.synth.quasiperiodic import (
 )
 from repro.tfo.sao2 import ratio_from_sao2
 from repro.utils.seeding import as_generator, spawn_generators
+from repro.utils.validation import as_1d_float_array
 
 #: The device's wavelengths (nm), per the paper.
 WAVELENGTHS = (740, 850)
+
+
+def ac_component(raw: np.ndarray, dc: np.ndarray) -> np.ndarray:
+    """The zero-mean AC time series of a sensed PPG channel.
+
+    The separation methods model the quasi-periodic dynamics, not the
+    large DC term they ride on, so the per-sample DC baseline is
+    subtracted and the residual is centred on zero (the leftover mean is
+    DC-estimation error, not pulsation).  This is the canonical
+    pre-separation transform of the in-vivo pipeline; the streaming
+    :class:`AcExtractor` is its chunked, stateful counterpart.
+
+    Not to be confused with :func:`repro.tfo.spo2.ac_component`, which
+    reduces an (already separated) segment to its scalar AC *strength*
+    for the Eq. 11 modulation ratio.
+    """
+    raw = as_1d_float_array(raw, "raw")
+    dc = as_1d_float_array(dc, "dc")
+    if raw.size != dc.size:
+        raise DataError(
+            f"raw PPG has {raw.size} samples but its DC baseline has "
+            f"{dc.size}; the arrays must be sampled on the same grid"
+        )
+    ac = raw - dc
+    return ac - float(np.mean(ac))
+
+
+class AcExtractor:
+    """Chunked, stateful counterpart of :func:`ac_component`.
+
+    Each :meth:`push` subtracts the chunk's DC baseline and a *fixed*
+    ``mean`` offset, and accumulates the running mean of the
+    DC-subtracted stream across chunk boundaries.  The running mean is
+    deliberately **not** applied on the fly: re-centring every chunk on
+    a different estimate would inject step discontinuities into the
+    stream feeding the separator.  Instead it is exposed as
+    :attr:`running_mean` so callers can calibrate ``mean`` (e.g. from a
+    settling period) — with ``mean`` equal to the record-wide AC mean,
+    the concatenated chunks reproduce :func:`ac_component` exactly,
+    which is what the :class:`repro.tfo.SpO2Monitor` equivalence
+    guarantee builds on.
+    """
+
+    def __init__(self, mean: float = 0.0):
+        self.mean = float(mean)
+        #: Samples seen so far.
+        self.n_seen = 0
+        self._sum = 0.0
+
+    @property
+    def running_mean(self) -> float:
+        """Mean of the DC-subtracted samples pushed so far (0 if none)."""
+        if self.n_seen == 0:
+            return 0.0
+        return self._sum / self.n_seen
+
+    def push(self, raw: np.ndarray, dc: np.ndarray) -> np.ndarray:
+        """DC-subtract one chunk and return it centred on ``self.mean``."""
+        raw = np.asarray(raw, dtype=np.float64)
+        dc = np.asarray(dc, dtype=np.float64)
+        if raw.ndim != 1 or dc.ndim != 1:
+            raise DataError(
+                f"raw and dc chunks must be 1-D, got shapes "
+                f"{raw.shape} and {dc.shape}"
+            )
+        if raw.size != dc.size:
+            raise DataError(
+                f"raw PPG chunk has {raw.size} samples but its DC chunk "
+                f"has {dc.size}; the arrays must be sampled on the same "
+                f"grid"
+            )
+        ac = raw - dc
+        self.n_seen += ac.size
+        self._sum += float(ac.sum())
+        return ac - self.mean
+
+    def __repr__(self) -> str:
+        return (
+            f"AcExtractor(mean={self.mean!r}, n_seen={self.n_seen}, "
+            f"running_mean={self.running_mean:.3g})"
+        )
 
 #: Maternal arterial saturation is ~98 %: fixed modulation ratio.
 MATERNAL_RATIO = 0.62

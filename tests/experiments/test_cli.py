@@ -24,7 +24,7 @@ def test_parser_artefacts_complete():
 
 def test_all_paper_artefacts_registered():
     expected = {"table1", "table2", "figure3", "figure4", "figure5",
-                "figure6", "figure7"}
+                "figure6", "figure7", "monitor"}
     assert expected <= set(RUNNERS)
 
 
@@ -110,3 +110,47 @@ class TestMethodAndSpecFlags:
             '{"method": "spectral-masking", "hop_fraction": 0.5}'
         )
         assert spec == SpectralMaskingSpec(hop_fraction=0.5)
+
+    def test_figure6_method_flag_runs_subset(self, capsys):
+        assert main([
+            "figure6", "--preset", "smoke", "--method", "spectral-masking",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Spect. Masking" in out
+        # No DHF table row (the title always names both methods).
+        assert "| DHF" not in out
+
+    def test_figure6_spec_flag(self, capsys):
+        spec = {"method": "spectral-masking", "n_harmonics": 2}
+        assert main([
+            "figure6", "--preset", "smoke", "--method", "spectral-masking",
+            "--spec", json.dumps(spec),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Spect. Masking (spec)" in out
+
+
+class TestMonitorArtefact:
+    def test_main_runs_monitor(self, capsys):
+        assert main(["monitor", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Streaming fetal-SpO2 monitor" in out
+        assert "latency" in out
+
+    def test_monitor_method_flag(self, capsys):
+        assert main([
+            "monitor", "--preset", "smoke", "--method", "spectral-masking",
+        ]) == 0
+        assert "Spect. Masking" in capsys.readouterr().out
+
+    def test_monitor_rejects_multiple_methods(self):
+        with pytest.raises(ConfigurationError, match="single"):
+            main([
+                "monitor", "--preset", "smoke",
+                "--method", "spectral-masking", "--method", "dhf",
+            ])
+
+    def test_monitor_spec_flag(self, capsys):
+        spec = json.dumps({"method": "spectral-masking", "n_harmonics": 2})
+        assert main(["monitor", "--preset", "smoke", "--spec", spec]) == 0
+        assert "Spect. Masking" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""Golden regression fixtures for the Fig. 6b in-vivo pipeline.
+
+The serialized correlations under ``tests/experiments/golden/`` pin the
+numbers the batched cohort pipeline produces for a fixed (preset, seed)
+configuration — synthesis, separation, windowed modulation ratios, and
+the Eq. 10 calibration all feed them, so a refactor that silently shifts
+any stage fails here with a per-(sheep, method) diff.
+
+Regenerate intentionally (after verifying the shift is wanted) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_figure6.py -q
+
+and commit the updated JSON alongside the change that moved the numbers.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext, run_figure6
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "figure6_smoke.json"
+
+#: Fixture configuration; changing any of these invalidates the fixture.
+PRESET = "smoke"
+SEED = 3
+
+#: |correlation delta| tolerated before the regression trips.  Method
+#: changes move Fig. 6 correlations by >= 1e-2; cross-platform float
+#: noise through synthesis + separation + regression stays far below.
+CORR_ATOL = 1e-3
+
+_REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+@pytest.fixture(scope="module")
+def figure6_result():
+    context = ExperimentContext.from_name(PRESET, seed=SEED)
+    return run_figure6(context)
+
+
+def _serialize(result) -> dict:
+    return {
+        "config": {"preset": PRESET, "seed": SEED},
+        "correlations": {
+            sheep: {
+                method: float(corr) for method, corr in sorted(methods.items())
+            }
+            for sheep, methods in sorted(result.correlations.items())
+        },
+        "oracle": {
+            sheep: float(corr)
+            for sheep, corr in sorted(result.oracle_correlations.items())
+        },
+        "error_improvement": float(result.error_improvement()),
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {GOLDEN_PATH}. Generate it with "
+            f"REPRO_REGEN_GOLDEN=1 and commit the file."
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.skipif(not _REGEN, reason="set REPRO_REGEN_GOLDEN=1 to regenerate")
+def test_regenerate_golden(figure6_result):
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(_serialize(figure6_result), indent=2, sort_keys=True) + "\n"
+    )
+    pytest.skip(f"golden fixture rewritten at {GOLDEN_PATH}")
+
+
+@pytest.mark.skipif(_REGEN, reason="regenerating, comparison suspended")
+class TestGoldenFigure6:
+    def test_config_matches(self):
+        golden = _load_golden()
+        assert golden["config"] == {"preset": PRESET, "seed": SEED}, (
+            "fixture was generated for a different configuration"
+        )
+
+    def test_sheep_and_method_coverage(self, figure6_result):
+        golden = _load_golden()
+        got = _serialize(figure6_result)
+        assert set(got["correlations"]) == set(golden["correlations"]), (
+            "sheep line-up changed; regenerate the fixture if intended"
+        )
+        for sheep in golden["correlations"]:
+            assert set(got["correlations"][sheep]) == \
+                set(golden["correlations"][sheep]), sheep
+
+    def test_correlations_match_golden(self, figure6_result):
+        golden = _load_golden()
+        got = _serialize(figure6_result)
+        drift = []
+        for sheep, methods in golden["correlations"].items():
+            for method, ref in methods.items():
+                corr = got["correlations"][sheep][method]
+                if abs(corr - ref) > CORR_ATOL:
+                    drift.append(
+                        f"{sheep} {method}: correlation {corr:.6f} vs "
+                        f"golden {ref:.6f}"
+                    )
+        for sheep, ref in golden["oracle"].items():
+            corr = got["oracle"][sheep]
+            if abs(corr - ref) > CORR_ATOL:
+                drift.append(
+                    f"{sheep} oracle: correlation {corr:.6f} vs golden "
+                    f"{ref:.6f}"
+                )
+        assert not drift, (
+            "in-vivo pipeline correlations drifted from the golden "
+            "fixture:\n  " + "\n  ".join(drift)
+        )
+
+    def test_error_improvement_matches_golden(self, figure6_result):
+        golden = _load_golden()
+        got = _serialize(figure6_result)
+        # The improvement metric amplifies correlation deltas (it is a
+        # ratio of 1-r terms), so it gets a proportionally looser gate.
+        assert got["error_improvement"] == pytest.approx(
+            golden["error_improvement"], abs=1.0
+        )
