@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios scoreboard-smoke bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
@@ -15,9 +15,12 @@ help:
 	@echo "make bench-streaming - streaming latency/throughput benchmark"
 	@echo "make bench-inpainting- batched deep-prior fit benchmark (asserts >= 2x)"
 	@echo "make bench-figure6   - batched in-vivo cohort benchmark (asserts >= 2x)"
+	@echo "make bench-scenarios - degradation scenario-grid benchmark (coverage +"
+	@echo "                       zero-severity==clean asserted)"
+	@echo "make scoreboard-smoke- robustness scoreboard artefact, smoke preset"
 	@echo "make bench-all       - all paper-artefact benchmarks (pytest-benchmark)"
 	@echo "make docs-check      - docs exist + documented names import + registry documented"
-	@echo "make smoke           - CI-style smoke: tests + conformance + docs-check + both bench --smoke"
+	@echo "make smoke           - CI-style smoke: tests + conformance + docs-check + bench --smoke suite"
 	@echo "make ci              - full gate: pytest + conformance + smoke script + docs check"
 
 test:
@@ -38,6 +41,12 @@ bench-inpainting:
 bench-figure6:
 	$(PYTHON) benchmarks/bench_figure6_spo2.py
 
+bench-scenarios:
+	$(PYTHON) benchmarks/bench_scenarios.py
+
+scoreboard-smoke:
+	$(PYTHON) -m repro.experiments.cli scoreboard --preset smoke
+
 bench-all:
 	$(PYTHON) -m pytest benchmarks/bench_pipeline.py $(wildcard benchmarks/bench_*.py) -q -s
 
@@ -51,8 +60,10 @@ smoke:
 # tier-1 pytest run and explicitly inside scripts/smoke.sh — so no
 # third invocation here.  bench-inpainting runs at full scale (the >= 2x
 # hot-path assertion); its --smoke variant also runs inside smoke.sh,
-# as does bench_figure6_spo2 --smoke (the batched in-vivo cohort gate).
-ci: bench-inpainting
+# as do bench_figure6_spo2 --smoke (the batched in-vivo cohort gate) and
+# bench_scenarios --smoke (the degradation-grid gate).  scoreboard-smoke
+# regenerates the robustness artefact over the full separator line-up.
+ci: bench-inpainting scoreboard-smoke
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh
 	$(PYTHON) scripts/check_docs.py

@@ -34,6 +34,7 @@ PUBLIC_PACKAGES = [
     "repro.baselines",
     "repro.metrics",
     "repro.synth",
+    "repro.scenarios",
     "repro.tfo",
     "repro.experiments",
 ]
@@ -54,6 +55,14 @@ REQUIRED_DOC_NAMES = [
     ("repro.tfo", "AcExtractor"),
     ("repro.tfo.ppg", "ac_component"),
     ("repro.experiments", "run_monitor"),
+    ("repro.scenarios", "DegradationSpec"),
+    ("repro.scenarios", "SensorDropoutSpec"),
+    ("repro.scenarios", "Scenario"),
+    ("repro.scenarios", "ScenarioGrid"),
+    ("repro.scenarios", "Scoreboard"),
+    ("repro.scenarios", "available_degradations"),
+    ("repro.experiments", "run_scoreboard"),
+    ("repro.synth", "extended_mixture_names"),
 ]
 
 

@@ -28,4 +28,7 @@ python benchmarks/bench_inpainting.py --smoke
 echo "== bench_figure6_spo2 --smoke =="
 python benchmarks/bench_figure6_spo2.py --smoke
 
+echo "== bench_scenarios --smoke =="
+python benchmarks/bench_scenarios.py --smoke
+
 echo "smoke: OK"

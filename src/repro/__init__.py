@@ -27,6 +27,10 @@ Subpackages
     resampling.
 ``repro.synth``
     Quasi-periodic signal generator and the paper's Table-1 mixtures.
+``repro.scenarios``
+    Degradation scenario suite: seeded sensor-dropout / motion / noise /
+    compression specs, N>2-source mixtures, and the :class:`ScenarioGrid`
+    robustness scoreboard over every registered separator.
 ``repro.service``
     The separator registry (named, spec-configured methods) and the
     :class:`SeparationService` facade routing one configured method
@@ -43,7 +47,7 @@ Subpackages
     Runners regenerating every table and figure of the paper.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro import errors
 from repro.config import available_presets, get_preset
@@ -70,6 +74,15 @@ from repro.pipeline import (
     records_from_arrays,
     stream_records,
 )
+from repro.scenarios import (
+    DegradationSpec,
+    Scenario,
+    ScenarioGrid,
+    Scoreboard,
+    available_degradations,
+    default_degradation,
+    run_scenario_grid,
+)
 from repro.separation import Separator
 from repro.service import (
     SeparationOutcome,
@@ -93,6 +106,8 @@ __all__ = [
     "records_from_arrays",
     "ChunkResult", "StreamSession", "stream_records",
     "StreamingSeparator", "stream_record",
+    "DegradationSpec", "Scenario", "ScenarioGrid", "Scoreboard",
+    "available_degradations", "default_degradation", "run_scenario_grid",
     "Separator",
     "SeparationService", "SeparationOutcome", "SeparatorSpec",
     "available_separators", "build_separator", "default_spec",

@@ -32,6 +32,12 @@ from repro.experiments.figure6 import (
 )
 from repro.experiments.figure7 import Figure7Result, run_figure7
 from repro.experiments.monitor import MonitorResult, run_monitor
+from repro.experiments.scoreboard import (
+    DEFAULT_FAMILIES,
+    DEFAULT_SEVERITIES,
+    ScoreboardResult,
+    run_scoreboard,
+)
 from repro.experiments.ablations import (
     SweepResult,
     run_anchor_pooling_ablation,
@@ -54,6 +60,8 @@ __all__ = [
     "FIGURE6_METHODS", "Figure6Result", "figure6_specs", "run_figure6",
     "Figure7Result", "run_figure7",
     "MonitorResult", "run_monitor",
+    "DEFAULT_FAMILIES", "DEFAULT_SEVERITIES",
+    "ScoreboardResult", "run_scoreboard",
     "SweepResult", "run_anchor_pooling_ablation", "run_dilation_ablation",
     "run_phase_policy_ablation",
 ]

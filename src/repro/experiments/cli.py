@@ -39,6 +39,7 @@ from repro.experiments.figure5 import run_figure5
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.monitor import run_monitor
+from repro.experiments.scoreboard import run_scoreboard
 from repro.experiments.ablations import (
     run_anchor_pooling_ablation,
     run_dilation_ablation,
@@ -57,6 +58,7 @@ RUNNERS: Dict[str, Callable] = {
     "figure6": run_figure6,
     "figure7": run_figure7,
     "monitor": run_monitor,
+    "scoreboard": run_scoreboard,
     "ablation-dilation": run_dilation_ablation,
     "ablation-anchor-pooling": run_anchor_pooling_ablation,
     "ablation-phase": run_phase_policy_ablation,
@@ -66,7 +68,7 @@ RUNNERS: Dict[str, Callable] = {
 COMMANDS = ("methods",)
 
 #: Artefacts whose method line-up is selectable with --method/--spec.
-METHOD_ARTEFACTS = ("table2", "figure6", "monitor")
+METHOD_ARTEFACTS = ("table2", "figure6", "monitor", "scoreboard")
 
 
 def render_methods() -> str:

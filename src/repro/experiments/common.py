@@ -197,7 +197,9 @@ def records_from_mixtures(
     Returns
     -------
     ``(records, labels)`` where ``labels`` maps the pipeline's
-    ``(record name, source index)`` score keys to source names.
+    ``(record name, source index)`` score keys to source labels
+    (role names, suffixed when a role repeats — see
+    :meth:`repro.synth.MixtureSpec.source_labels`).
     """
     records: List[SeparationRecord] = []
     labels: Dict[Tuple[str, int], str] = {}
@@ -206,12 +208,12 @@ def records_from_mixtures(
             mix_name, duration_s=context.duration_s, seed=context.seed,
         )
         references = {}
-        for idx, src in enumerate(mixture.spec.sources):
-            labels[(mix_name, idx)] = src.name
-            reference = mixture.sources[src.name]
+        for idx, label in enumerate(mixture.spec.source_labels()):
+            labels[(mix_name, idx)] = label
+            reference = mixture.sources[label]
             if reference_filter is not None:
                 reference = reference_filter(reference, mixture.sampling_hz)
-            references[src.name] = reference
+            references[label] = reference
         records.append(SeparationRecord(
             mixed=mixture.mixed,
             sampling_hz=mixture.sampling_hz,

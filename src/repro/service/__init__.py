@@ -37,6 +37,7 @@ from repro.service.registry import (
 from repro.service.specs import (
     DHFSpec,
     EMDSpec,
+    FrozenSpec,
     NMFSpec,
     RepetSpec,
     SeparatorSpec,
@@ -56,6 +57,7 @@ __all__ = [
     "resolve_spec",
     "separator_entry",
     "unregister_separator",
+    "FrozenSpec",
     "SeparatorSpec",
     "DHFSpec",
     "EMDSpec",

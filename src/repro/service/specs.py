@@ -27,7 +27,61 @@ from repro.utils.validation import check_positive, check_positive_int
 
 
 @dataclass(frozen=True)
-class SeparatorSpec:
+class FrozenSpec:
+    """Shared machinery of every frozen, JSON-round-trippable spec.
+
+    Both :class:`SeparatorSpec` (dispatching on ``method``) and
+    :class:`repro.scenarios.DegradationSpec` (dispatching on ``kind``)
+    are registries of frozen dataclasses whose instances serialize to
+    plain dictionaries.  This base carries the registry-agnostic half:
+    ``to_dict`` / ``replace`` plus the validation helpers that keep
+    int/bool/positivity semantics aligned with
+    :mod:`repro.utils.validation`.  Dispatching ``from_dict`` stays with
+    the concrete spec families because each owns its registry.
+    """
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-able dictionary of every field."""
+        return dataclasses.asdict(self)
+
+    def replace(self, **overrides) -> "FrozenSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers for subclasses (delegating to the shared
+    # repro.utils.validation rules so int/bool/positivity semantics
+    # cannot drift from the rest of the package)
+    # ------------------------------------------------------------------ #
+    def _check_positive_int(self, *names: str) -> None:
+        for name in names:
+            check_positive_int(
+                getattr(self, name), f"{type(self).__name__}.{name}"
+            )
+
+    def _check_positive(self, *names: str) -> None:
+        for name in names:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"{type(self).__name__}.{name} must be a number, "
+                    f"got {value!r}"
+                )
+            check_positive(value, f"{type(self).__name__}.{name}")
+
+    def _check_number(self, name: str) -> float:
+        """The named field as a float, rejecting non-numeric values."""
+        value = getattr(self, name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"{type(self).__name__}.{name} must be a number, "
+                f"got {value!r}"
+            )
+        return float(value)
+
+
+@dataclass(frozen=True)
+class SeparatorSpec(FrozenSpec):
     """Base class of every separator specification.
 
     Subclasses re-declare :attr:`method` with their canonical registry
@@ -47,10 +101,6 @@ class SeparatorSpec:
     # ------------------------------------------------------------------ #
     # Dict round-trip
     # ------------------------------------------------------------------ #
-    def to_dict(self) -> Dict[str, Any]:
-        """A JSON-able dictionary: ``{"method": ..., **fields}``."""
-        return dataclasses.asdict(self)
-
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SeparatorSpec":
         """Rebuild a spec from a :meth:`to_dict`-style mapping.
@@ -97,36 +147,11 @@ class SeparatorSpec:
             data = merged
         return spec_cls(**data)
 
-    def replace(self, **overrides) -> "SeparatorSpec":
-        """A copy with the given fields replaced (re-validated)."""
-        return dataclasses.replace(self, **overrides)
-
     def build(self):
         """The configured :class:`repro.separation.Separator`."""
         from repro.service.registry import build_separator
 
         return build_separator(self)
-
-    # ------------------------------------------------------------------ #
-    # Validation helpers for subclasses (delegating to the shared
-    # repro.utils.validation rules so int/bool/positivity semantics
-    # cannot drift from the rest of the package)
-    # ------------------------------------------------------------------ #
-    def _check_positive_int(self, *names: str) -> None:
-        for name in names:
-            check_positive_int(
-                getattr(self, name), f"{type(self).__name__}.{name}"
-            )
-
-    def _check_positive(self, *names: str) -> None:
-        for name in names:
-            value = getattr(self, name)
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
-                raise ConfigurationError(
-                    f"{type(self).__name__}.{name} must be a number, "
-                    f"got {value!r}"
-                )
-            check_positive(value, f"{type(self).__name__}.{name}")
 
 
 @dataclass(frozen=True)

@@ -21,9 +21,11 @@ from repro.synth.quasiperiodic import (
 from repro.synth.noise import baseline_drift, white_noise
 from repro.synth.mixtures import (
     MSIG_SPECS,
+    XMSIG_SPECS,
     MixtureData,
     MixtureSpec,
     SourceSpec,
+    extended_mixture_names,
     get_mixture_spec,
     make_all_mixtures,
     make_mixture,
@@ -37,6 +39,7 @@ __all__ = [
     "QuasiPeriodicSignal", "generate_quasiperiodic", "generate_random_source",
     "random_period_amplitudes", "random_period_durations",
     "baseline_drift", "white_noise",
-    "MSIG_SPECS", "MixtureData", "MixtureSpec", "SourceSpec",
-    "get_mixture_spec", "make_all_mixtures", "make_mixture", "mixture_names",
+    "MSIG_SPECS", "XMSIG_SPECS", "MixtureData", "MixtureSpec", "SourceSpec",
+    "extended_mixture_names", "get_mixture_spec", "make_all_mixtures",
+    "make_mixture", "mixture_names",
 ]

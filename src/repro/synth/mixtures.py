@@ -5,12 +5,19 @@ pulsation, and — for MSig4/5 — respiration) plus Gaussian noise, with the
 exact amplitude statistics and fundamental-frequency ranges printed in
 Table 1.  Source roles follow Sec. 4.1: MSig1–3 mix maternal+fetal
 pulsation; MSig4–5 add respiration as the dominant source.
+
+Beyond the paper, :data:`XMSIG_SPECS` extends the same template /
+amplitude machinery to 4–5 source mixtures (``xmsig4`` / ``xmsig5``) for
+the robustness scenario suite, including a twin-fetal mixture where two
+sources share a physiological role.  Rendered mixtures key everything by
+:meth:`MixtureSpec.source_labels` — the role name, suffixed on repeats —
+so duplicate roles never silently collapse.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +64,29 @@ class MixtureSpec:
 
     def source_names(self) -> List[str]:
         return [s.name for s in self.sources]
+
+    def source_labels(self) -> List[str]:
+        """One unique key per source, in spec order.
+
+        The label is the role name; when several sources share a role
+        (e.g. twin fetal pulses) the repeats get an ordinal suffix:
+        ``["fetal", "fetal-2"]``.  Rendered :class:`MixtureData` dicts —
+        sources, f0 tracks, generated signals — are keyed by these
+        labels, so an N>2-source mixture never collapses same-role
+        sources into one entry.
+        """
+        counts: Dict[str, int] = {}
+        labels: List[str] = []
+        for source in self.sources:
+            n = counts.get(source.name, 0) + 1
+            counts[source.name] = n
+            labels.append(source.name if n == 1 else f"{source.name}-{n}")
+        if len(set(labels)) != len(labels):
+            raise ConfigurationError(
+                f"mixture {self.name!r}: source names {self.source_names()} "
+                f"produce colliding labels {labels}; rename the sources"
+            )
+        return labels
 
 
 def _pulse(name, amp_mean, amp_std, f_min, f_max) -> SourceSpec:
@@ -118,6 +148,39 @@ MSIG_SPECS: Dict[str, MixtureSpec] = {
     ),
 }
 
+#: N>2-source extension mixtures (not part of Table 1): the same
+#: template/amplitude machinery pushed to 4–5 simultaneous sources for
+#: the robustness scenario suite.  ``xmsig5`` deliberately carries two
+#: fetal-role sources (a twin pregnancy scenario) whose rendered labels
+#: are ``fetal`` / ``fetal-2``.
+XMSIG_SPECS: Dict[str, MixtureSpec] = {
+    "xmsig4": MixtureSpec(
+        name="xmsig4",
+        sources=(
+            _resp(0.55, 0.12, 0.5, 0.9),
+            _pulse("maternal", 0.08, 0.015, 1.0, 1.7),
+            _pulse("fetal", 0.05, 0.012, 1.9, 2.9),
+            SourceSpec("movement", "sawtooth", 0.12, 0.04, 0.2, 0.45),
+        ),
+        noise_std=0.01,
+        description="four sources: respiration + maternal + fetal + slow "
+                    "movement artifact",
+    ),
+    "xmsig5": MixtureSpec(
+        name="xmsig5",
+        sources=(
+            _resp(0.5, 0.1, 0.5, 0.85),
+            _pulse("maternal", 0.08, 0.015, 1.0, 1.6),
+            _pulse("fetal", 0.05, 0.012, 1.8, 2.4),
+            _pulse("fetal", 0.04, 0.01, 2.5, 3.2),
+            SourceSpec("movement", "sawtooth", 0.1, 0.03, 0.2, 0.4),
+        ),
+        noise_std=0.008,
+        description="five sources incl. twin fetal pulses "
+                    "(labels fetal / fetal-2)",
+    ),
+}
+
 
 @dataclass
 class MixtureData:
@@ -130,10 +193,13 @@ class MixtureData:
     mixed:
         The single-detector measurement (sum of sources + noise).
     sources:
-        Ground-truth source signals keyed by role name.
+        Ground-truth source signals keyed by source label
+        (:meth:`MixtureSpec.source_labels`; equals the role name unless
+        roles repeat).
     f0_tracks:
         Per-sample fundamental-frequency track of each source (the "known
-        frequency information" assumption of the paper).
+        frequency information" assumption of the paper), same keys as
+        ``sources``.
     noise:
         The additive noise realisation.
     sampling_hz:
@@ -161,7 +227,9 @@ class MixtureData:
 
     def source_matrix(self) -> np.ndarray:
         """Sources stacked as rows in spec order."""
-        return np.stack([self.sources[s.name] for s in self.spec.sources])
+        return np.stack(
+            [self.sources[label] for label in self.spec.source_labels()]
+        )
 
 
 def mixture_names() -> List[str]:
@@ -169,26 +237,38 @@ def mixture_names() -> List[str]:
     return sorted(MSIG_SPECS)
 
 
+def extended_mixture_names() -> List[str]:
+    """Names of the N>2-source extension mixtures (``xmsig4``/``xmsig5``)."""
+    return sorted(XMSIG_SPECS)
+
+
 def get_mixture_spec(name: str) -> MixtureSpec:
-    """Look up a Table 1 mixture spec by (case-insensitive) name."""
+    """Look up a mixture spec (Table 1 or extension) by name.
+
+    Case-insensitive; unknown names raise with a did-you-mean listing of
+    both :func:`mixture_names` and :func:`extended_mixture_names`.
+    """
+    registry = {**MSIG_SPECS, **XMSIG_SPECS}
     try:
-        return MSIG_SPECS[name.lower()]
+        return registry[name.lower()]
     except KeyError:
-        raise unknown_name_error("mixture", name, MSIG_SPECS) from None
+        raise unknown_name_error("mixture", name, registry) from None
 
 
 def make_mixture(
-    name: str,
+    name: Union[str, MixtureSpec],
     duration_s: float = 300.0,
     sampling_hz: float = SYNTH_SAMPLING_HZ,
     seed: Optional[int] = None,
 ) -> MixtureData:
-    """Render a Table 1 mixture with fresh random walks.
+    """Render a mixture spec with fresh random walks.
 
     Parameters
     ----------
     name:
-        ``"msig1"`` .. ``"msig5"`` (case-insensitive).
+        ``"msig1"`` .. ``"msig5"``, ``"xmsig4"`` / ``"xmsig5"``
+        (case-insensitive), or a :class:`MixtureSpec` instance for
+        ad-hoc mixtures outside the registries.
     duration_s:
         Signal length in seconds (the paper uses 5-minute segments).
     sampling_hz:
@@ -197,7 +277,7 @@ def make_mixture(
         Seed for reproducible generation; defaults to a stable hash of the
         mixture name.
     """
-    spec = get_mixture_spec(name)
+    spec = name if isinstance(name, MixtureSpec) else get_mixture_spec(name)
     if seed is None:
         seed = stable_hash_seed("mixture", spec.name)
     rngs = spawn_generators(seed, len(spec.sources) + 1)
@@ -206,7 +286,8 @@ def make_mixture(
     f0_tracks: Dict[str, np.ndarray] = {}
     generated: Dict[str, QuasiPeriodicSignal] = {}
     n_samples = int(round(duration_s * sampling_hz))
-    for source_spec, rng in zip(spec.sources, rngs[:-1]):
+    labels = spec.source_labels()
+    for source_spec, label, rng in zip(spec.sources, labels, rngs[:-1]):
         sig = generate_random_source(
             template=source_spec.template,
             duration_s=duration_s,
@@ -217,9 +298,9 @@ def make_mixture(
             sampling_hz=sampling_hz,
             rng=rng,
         )
-        sources[source_spec.name] = sig.samples[:n_samples]
-        f0_tracks[source_spec.name] = sig.f0_track[:n_samples]
-        generated[source_spec.name] = sig
+        sources[label] = sig.samples[:n_samples]
+        f0_tracks[label] = sig.f0_track[:n_samples]
+        generated[label] = sig
 
     noise = white_noise(n_samples, spec.noise_std, rng=rngs[-1])
     mixed = noise + np.sum(

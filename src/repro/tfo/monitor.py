@@ -338,6 +338,11 @@ class DrawEstimate:
     spo2: Optional[float] = None
     #: Finalized-sample count at which the window completed.
     completed_at: Optional[int] = None
+    #: True when the averaging window overlapped a flagged sensor-dropout
+    #: span (see :attr:`SpO2Monitor.gap_spans`).  A degraded window may
+    #: still complete with ``ratio=None`` when its data is unusable
+    #: (e.g. a fully zeroed DC) — such draws never enter the calibration.
+    degraded: bool = False
 
 
 @dataclass
@@ -356,6 +361,8 @@ class MonitorUpdate:
     spo2: Optional[float]
     completed: List[DrawEstimate] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: True when the live sliding window overlaps a flagged dropout span.
+    degraded: bool = False
 
 
 @dataclass
@@ -422,6 +429,17 @@ class SpO2Monitor:
     :func:`repro.tfo.spo2.fit_spo2`.  A ``segment_samples`` of at least
     the record length has no cross-fades at all and is exact for every
     draw and any chunking.
+
+    Sensor-dropout awareness
+    ------------------------
+    Raw-PPG runs stuck at one constant value for at least
+    ``flag_dropouts_s`` seconds (on either wavelength, tracked across
+    chunk boundaries) are flagged as :attr:`gap_spans`.  Draw and live
+    windows overlapping a flagged span carry ``degraded=True``, and a
+    flagged window whose data is uncomputable (e.g. an all-zero DC)
+    completes with ``ratio=None`` instead of emitting NaN — degraded
+    ratio-less draws never enter the calibration.  Set
+    ``flag_dropouts_s=None`` to disable detection.
     """
 
     def __init__(
@@ -434,10 +452,13 @@ class SpO2Monitor:
         ac_mean: Union[float, Mapping[int, float], None] = None,
         min_draws: int = 3,
         workers: int = 0,
+        flag_dropouts_s: Optional[float] = 0.25,
     ):
         check_positive(sampling_hz, "sampling_hz")
         check_positive(window_s, "window_s")
         check_positive_int(min_draws, "min_draws")
+        if flag_dropouts_s is not None:
+            check_positive(flag_dropouts_s, "flag_dropouts_s")
         if min_draws < 3:
             raise ConfigurationError(
                 f"min_draws must be >= 3 (the Eq. 10 regression needs "
@@ -492,6 +513,20 @@ class SpO2Monitor:
         self._draws: List[DrawEstimate] = []
         self._fit: Optional[SpO2Fit] = None
         self.n_refits = 0
+        #: Constant-run dropout detection: runs of identical raw samples
+        #: at least ``flag_dropouts_s`` long (on either wavelength) are
+        #: flagged as sensor gaps.  ``None`` disables detection.
+        self._flag_samples = (
+            None if flag_dropouts_s is None
+            else max(2, int(round(flag_dropouts_s * sampling_hz)))
+        )
+        # Merged flagged spans [lo, hi) in absolute sample coordinates,
+        # pooled across wavelengths; plus the still-open trailing
+        # constant run per wavelength as (value, absolute start).
+        self._gap_spans: List[Tuple[int, int]] = []
+        self._runs: Dict[int, Optional[Tuple[float, int]]] = {
+            wl: None for wl in WAVELENGTHS
+        }
 
     @staticmethod
     def _mean_for(
@@ -534,6 +569,17 @@ class SpO2Monitor:
     def max_latency_samples(self) -> int:
         """Worst-case samples between arrival and finalization."""
         return self._session.segment_samples
+
+    @property
+    def gap_spans(self) -> List[Tuple[int, int]]:
+        """Flagged sensor-dropout spans ``[lo, hi)``, absolute samples.
+
+        A span is flagged when either wavelength's *raw* PPG sits at one
+        constant value for at least ``flag_dropouts_s`` seconds — the
+        signature of a dropped, held, or railed sensor.  Spans from both
+        wavelengths are pooled and merged.
+        """
+        return list(self._gap_spans)
 
     # ------------------------------------------------------------------ #
     # Streaming interface
@@ -628,9 +674,11 @@ class SpO2Monitor:
             str(wl): (chunks[wl], f0_tracks) for wl in WAVELENGTHS
         })
         elapsed = time.perf_counter() - t0
+        offset = self.n_pushed
         self.n_pushed += n_chunk
         for wl in WAVELENGTHS:
             self._raw[wl] = np.concatenate([self._raw[wl], raw[wl]])
+            self._detect_gaps(wl, raw[wl], offset)
         completed = self._absorb(results)
         return self._update(elapsed, completed)
 
@@ -677,6 +725,39 @@ class SpO2Monitor:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _detect_gaps(self, wl: int, chunk: np.ndarray, offset: int) -> None:
+        """Flag constant raw-PPG runs >= ``flag_dropouts_s`` as gaps.
+
+        Runs are tracked across chunk boundaries per wavelength, so a
+        gap split over many pushes (even 1-sample chunks) is still
+        caught.  ``offset`` is the absolute index of ``chunk[0]``.
+        """
+        if self._flag_samples is None or chunk.size == 0:
+            return
+        boundaries = np.flatnonzero(np.diff(chunk)) + 1
+        starts = np.concatenate(([0], boundaries)) + offset
+        ends = np.concatenate((boundaries, [chunk.size])) + offset
+        open_run = self._runs[wl]
+        if open_run is not None and chunk[0] == open_run[0]:
+            starts[0] = open_run[1]
+        self._runs[wl] = (float(chunk[-1]), int(starts[-1]))
+        for i in np.flatnonzero(ends - starts >= self._flag_samples):
+            self._add_gap_span(int(starts[i]), int(ends[i]))
+
+    def _add_gap_span(self, lo: int, hi: int) -> None:
+        """Insert ``[lo, hi)``, merging overlapping/adjacent spans."""
+        merged = []
+        for a, b in self._gap_spans:
+            if b < lo or a > hi:
+                merged.append((a, b))
+            else:
+                lo, hi = min(a, lo), max(b, hi)
+        merged.append((lo, hi))
+        self._gap_spans = sorted(merged)
+
+    def _overlaps_gaps(self, lo: int, hi: int) -> bool:
+        return any(a < hi and b > lo for a, b in self._gap_spans)
+
     def _absorb(self, results: Mapping[str, Any]) -> List[DrawEstimate]:
         """Append newly finalized fetal samples; engines stay in lockstep.
 
@@ -730,22 +811,43 @@ class SpO2Monitor:
         for wl in WAVELENGTHS:
             fetal = self._fetal[wl][lo - self._fetal_start: hi - self._fetal_start]
             raw = self._raw[wl][lo - self._raw_start: hi - self._raw_start]
-            acdc[wl] = ac_strength(fetal) / dc_component(raw)
+            dc = dc_component(raw)
+            if dc == 0:
+                raise DataError(
+                    f"zero DC at {wl} nm in monitor window [{lo}, {hi}) — "
+                    f"raw channel reads as dropped out"
+                )
+            acdc[wl] = ac_strength(fetal) / dc
         if acdc[850] <= 0:
             raise DataError("non-positive AC/DC at 850 nm in monitor window")
-        return float(acdc[740] / acdc[850])
+        ratio = float(acdc[740] / acdc[850])
+        if not np.isfinite(ratio):
+            raise DataError(
+                f"non-finite modulation ratio in monitor window [{lo}, {hi})"
+            )
+        return ratio
 
     def _resolve_draws(self, final: bool) -> List[DrawEstimate]:
         """Compute ratios for draws whose windows completed; refit."""
         resolved: List[DrawEstimate] = []
         for draw in self._draws:
-            if draw.ratio is not None:
+            if draw.completed_at is not None:
                 continue
             centre = int(round(draw.time_s * self.sampling_hz))
             window = self._window(centre, final)
             if window is None:
                 continue
-            draw.ratio = self._windowed_ratio(*window)
+            draw.degraded = self._overlaps_gaps(*window)
+            try:
+                draw.ratio = self._windowed_ratio(*window)
+            except DataError:
+                # A window the dropout detector flagged may be genuinely
+                # uncomputable (zeroed DC); complete it ratio-less so it
+                # never reaches the calibration.  Unflagged windows keep
+                # the strict offline behaviour and raise.
+                if not draw.degraded:
+                    raise
+                draw.ratio = None
             draw.completed_at = self.n_finalized
             resolved.append(draw)
         if resolved:
@@ -758,7 +860,8 @@ class SpO2Monitor:
                 self.n_refits += 1
             if self._fit is not None:
                 for draw in resolved:
-                    draw.spo2 = _calibrated_spo2(draw.ratio, self._fit)
+                    if draw.ratio is not None:
+                        draw.spo2 = _calibrated_spo2(draw.ratio, self._fit)
         return resolved
 
     def _update(
@@ -767,12 +870,20 @@ class SpO2Monitor:
         """The live sliding-window ratio/SpO2 after one push."""
         ratio: Optional[float] = None
         spo2: Optional[float] = None
+        degraded = False
         window = 2 * self.half_window
         if self.n_finalized >= max(2, window):
-            ratio = self._windowed_ratio(
-                self.n_finalized - window, self.n_finalized
-            )
-            if self._fit is not None:
+            lo, hi = self.n_finalized - window, self.n_finalized
+            degraded = self._overlaps_gaps(lo, hi)
+            try:
+                ratio = self._windowed_ratio(lo, hi)
+            except DataError:
+                # Same contract as draw resolution: a flagged window may
+                # be uncomputable — report no ratio instead of NaN.
+                if not degraded:
+                    raise
+                ratio = None
+            if ratio is not None and self._fit is not None:
                 spo2 = _calibrated_spo2(ratio, self._fit)
         return MonitorUpdate(
             n_pushed=self.n_pushed,
@@ -781,6 +892,7 @@ class SpO2Monitor:
             spo2=spo2,
             completed=completed,
             elapsed_s=elapsed,
+            degraded=degraded,
         )
 
     def _trim(self) -> None:
@@ -792,7 +904,7 @@ class SpO2Monitor:
         """
         horizon = max(0, self.n_finalized - 2 * self.half_window)
         for draw in self._draws:
-            if draw.ratio is None:
+            if draw.completed_at is None:
                 centre = int(round(draw.time_s * self.sampling_hz))
                 horizon = min(horizon, max(0, centre - self.half_window))
         if horizon > self._fetal_start:

@@ -154,3 +154,39 @@ class TestMonitorArtefact:
         spec = json.dumps({"method": "spectral-masking", "n_harmonics": 2})
         assert main(["monitor", "--preset", "smoke", "--spec", spec]) == 0
         assert "Spect. Masking" in capsys.readouterr().out
+
+
+class TestScoreboardArtefact:
+    def test_main_runs_scoreboard(self, capsys):
+        assert main([
+            "scoreboard", "--preset", "smoke",
+            "--method", "spectral-masking",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Robustness scoreboard" in out
+        assert "dropout@0.35" in out and "compression@0.7" in out
+        assert "#1 Spect. Masking" in out
+
+    def test_scoreboard_registered_with_method_selection(self):
+        assert "scoreboard" in RUNNERS
+        parser = build_parser()
+        args = parser.parse_args(["scoreboard", "--preset", "smoke"])
+        assert args.artefact == "scoreboard"
+
+    def test_scoreboard_spec_flag(self, capsys):
+        spec = json.dumps({"method": "spectral-masking", "n_harmonics": 2})
+        assert main([
+            "scoreboard", "--preset", "smoke",
+            "--method", "spectral-masking", "--spec", spec,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Spect. Masking (spec)" in out
+
+    def test_scoreboard_output_file(self, capsys, tmp_path):
+        out_file = tmp_path / "scoreboard.txt"
+        assert main([
+            "scoreboard", "--preset", "smoke",
+            "--method", "spectral-masking", "--output", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        assert "Robustness scoreboard" in out_file.read_text()

@@ -1,0 +1,139 @@
+"""Conformance under degradation: every separator, every mode, dirty input.
+
+Extends ``tests/service/test_conformance.py`` along the scenario axis:
+each registered method (DHF at smoke scale) separates
+
+* a Table 1 mixture whose mixed channel went through a dropout + noise
+  scenario chain, and
+* a clean 4-source extension mixture (``xmsig4``),
+
+through all three :class:`repro.service.SeparationService` modes.  The
+mode-agreement bounds are the clean suite's: ``separate_batch`` within
+``1e-8`` of per-record ``separate``, single-segment streaming within
+``1e-12`` of offline.  Degradation corrupts the *input*, never the
+routing — the three execution paths must keep agreeing on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import SeparationRecord
+from repro.scenarios import Scenario, SensorDropoutSpec, as_scenario
+from repro.service import (
+    DHFSpec,
+    SeparationService,
+    available_separators,
+    default_spec,
+)
+from repro.synth import make_mixture
+
+DURATION_S = 8.0
+
+
+def spec_for(name):
+    if name == "dhf":
+        return DHFSpec.from_preset("smoke")
+    return default_spec(name)
+
+
+def _record(name, duration_s=DURATION_S, seed=11):
+    mixture = make_mixture(name, duration_s=duration_s, seed=seed)
+    return SeparationRecord(
+        mixed=mixture.mixed,
+        sampling_hz=mixture.sampling_hz,
+        f0_tracks=mixture.f0_tracks,
+        name=name,
+        references=mixture.sources,
+    )
+
+
+@pytest.fixture(scope="module")
+def degraded_record():
+    """msig1 pushed through a dropout + noise chain (references clean)."""
+    scenario = Scenario(
+        name="dirty",
+        degradations=(
+            SensorDropoutSpec(severity=0.2, gap_seconds=0.3, seed=5),
+            {"kind": "noise", "severity": 0.15, "seed": 5},
+        ),
+    )
+    return scenario.degrade_record(_record("msig1"))
+
+
+@pytest.fixture(scope="module")
+def nsource_record():
+    """The 4-source extension mixture, clean.
+
+    12 s, not 8: the slow movement source (0.2-0.45 Hz) needs enough
+    warped frames for DHF's smoke-depth deep prior.
+    """
+    return _record("xmsig4", duration_s=12.0)
+
+
+@pytest.fixture(scope="module", params=available_separators())
+def method(request):
+    return request.param
+
+
+@pytest.fixture(scope="module", params=["degraded", "nsource"])
+def case(request, degraded_record, nsource_record):
+    return {
+        "degraded": degraded_record, "nsource": nsource_record,
+    }[request.param]
+
+
+@pytest.fixture(scope="module")
+def outcomes(method, case):
+    with SeparationService(spec_for(method)) as service:
+        return {
+            "offline": service.separate(case),
+            "batch": service.separate_batch([case]),
+            "stream": service.stream(case),
+        }
+
+
+class TestDegradedConformance:
+    def test_offline_covers_every_source(self, outcomes, case):
+        estimates = outcomes["offline"].estimates
+        assert set(estimates) == set(case.f0_tracks)
+        for estimate in estimates.values():
+            assert estimate.shape == (case.n_samples,)
+            assert np.all(np.isfinite(estimate))
+
+    def test_batch_agrees_with_offline(self, outcomes, case):
+        batch = outcomes["batch"].batch
+        assert len(batch) == 1
+        for source in case.source_names():
+            err = np.abs(
+                batch.results[0].estimates[source]
+                - outcomes["offline"].estimates[source]
+            ).max()
+            assert err <= 1e-8, f"{source}: batch vs offline {err:.2e}"
+
+    def test_stream_agrees_with_offline(self, outcomes, case):
+        streamed = outcomes["stream"].estimates
+        for source in case.source_names():
+            err = np.abs(
+                streamed[source] - outcomes["offline"].estimates[source]
+            ).max()
+            assert err <= 1e-12, f"{source}: stream vs offline {err:.2e}"
+
+    def test_every_mode_scores_every_source(self, outcomes, case):
+        for mode in ("offline", "stream"):
+            assert set(outcomes[mode].scores) == set(case.f0_tracks)
+        batch_scores = outcomes["batch"].batch.results[0].scores
+        assert set(batch_scores) == set(case.f0_tracks)
+
+
+def test_degraded_record_keeps_clean_references(degraded_record):
+    clean = _record("msig1")
+    np.testing.assert_array_equal(
+        degraded_record.references["fetal"], clean.references["fetal"]
+    )
+    assert np.any(degraded_record.mixed != clean.mixed)
+
+
+def test_as_scenario_kind_shortcut_matches_explicit(degraded_record):
+    shortcut = as_scenario("dropout")
+    explicit = as_scenario(SensorDropoutSpec())
+    assert shortcut == explicit
