@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios scoreboard-smoke bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart scoreboard-smoke bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
@@ -17,6 +17,8 @@ help:
 	@echo "make bench-figure6   - batched in-vivo cohort benchmark (asserts >= 2x)"
 	@echo "make bench-scenarios - degradation scenario-grid benchmark (coverage +"
 	@echo "                       zero-severity==clean asserted)"
+	@echo "make bench-warmstart - prior-zoo warm-start benchmark (asserts >= 1.5x"
+	@echo "                       fewer iterations at equal quality)"
 	@echo "make scoreboard-smoke- robustness scoreboard artefact, smoke preset"
 	@echo "make bench-all       - all paper-artefact benchmarks (pytest-benchmark)"
 	@echo "make docs-check      - docs exist + documented names import + registry documented"
@@ -44,6 +46,9 @@ bench-figure6:
 bench-scenarios:
 	$(PYTHON) benchmarks/bench_scenarios.py
 
+bench-warmstart:
+	$(PYTHON) benchmarks/bench_warmstart.py
+
 scoreboard-smoke:
 	$(PYTHON) -m repro.experiments.cli scoreboard --preset smoke
 
@@ -59,11 +64,13 @@ smoke:
 # The conformance suite reaches ci twice already — collected by the
 # tier-1 pytest run and explicitly inside scripts/smoke.sh — so no
 # third invocation here.  bench-inpainting runs at full scale (the >= 2x
-# hot-path assertion); its --smoke variant also runs inside smoke.sh,
-# as do bench_figure6_spo2 --smoke (the batched in-vivo cohort gate) and
-# bench_scenarios --smoke (the degradation-grid gate).  scoreboard-smoke
-# regenerates the robustness artefact over the full separator line-up.
-ci: bench-inpainting scoreboard-smoke
+# hot-path assertion) and bench-warmstart gates the prior-zoo warm-start
+# targets (>= 1.5x fewer iterations at equal quality); their --smoke
+# variants also run inside smoke.sh, as do bench_figure6_spo2 --smoke
+# (the batched in-vivo cohort gate) and bench_scenarios --smoke (the
+# degradation-grid gate).  scoreboard-smoke regenerates the robustness
+# artefact over the full separator line-up.
+ci: bench-inpainting bench-warmstart scoreboard-smoke
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh
 	$(PYTHON) scripts/check_docs.py

@@ -63,6 +63,12 @@ REQUIRED_DOC_NAMES = [
     ("repro.scenarios", "available_degradations"),
     ("repro.experiments", "run_scoreboard"),
     ("repro.synth", "extended_mixture_names"),
+    ("repro.nn", "PriorCheckpoint"),
+    ("repro.nn", "PriorZoo"),
+    ("repro.nn", "FitCache"),
+    ("repro.nn", "shared_fit_cache"),
+    ("repro.nn", "save_state"),
+    ("repro.nn", "load_state"),
 ]
 
 

@@ -31,4 +31,7 @@ python benchmarks/bench_figure6_spo2.py --smoke
 echo "== bench_scenarios --smoke =="
 python benchmarks/bench_scenarios.py --smoke
 
+echo "== bench_warmstart --smoke =="
+python benchmarks/bench_warmstart.py --smoke
+
 echo "smoke: OK"

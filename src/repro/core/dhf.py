@@ -42,6 +42,7 @@ from repro.core.inpainting import (
     inpaint_spectrograms,
 )
 from repro.nn.batchfit import EarlyStopConfig
+from repro.nn.zoo import FitCache, PriorGeometry, shared_fit_cache
 from repro.core.masking import (
     build_round_masks,
     default_bandwidth,
@@ -88,6 +89,18 @@ class DHFConfig:
     early_stop_patience: int = 0
     #: Relative loss improvement that resets the patience counter.
     early_stop_rel_tol: float = 1e-3
+    #: Warm-start every round's deep-prior fit from the process-wide
+    #: :func:`repro.nn.zoo.shared_fit_cache` (exact geometry+config hit,
+    #: else the nearest same-geometry cached fit) and feed finished fits
+    #: back into it.  Off by default: a warm start changes the fit's
+    #: starting point, so results are no longer bitwise identical to a
+    #: cold run once the cache is non-empty.
+    warm_start: bool = False
+    #: Optional directory of a :class:`repro.nn.zoo.PriorZoo` backing
+    #: the shared cache (checkpoints persist across processes); ``None``
+    #: keeps the cache purely in-memory.  Only meaningful with
+    #: ``warm_start=True``.
+    zoo_path: Optional[str] = None
 
     def __post_init__(self):
         if self.samples_per_period < 4:
@@ -124,6 +137,14 @@ class DHFConfig:
             )
         if self.early_stop_patience:
             self.early_stop()  # validate rel_tol via EarlyStopConfig
+        if not isinstance(self.warm_start, bool):
+            raise ConfigurationError(
+                f"warm_start must be a bool, got {self.warm_start!r}"
+            )
+        if self.zoo_path is not None and not isinstance(self.zoo_path, str):
+            raise ConfigurationError(
+                f"zoo_path must be None or a str, got {self.zoo_path!r}"
+            )
 
     @property
     def bin_spacing_hz(self) -> float:
@@ -138,6 +159,18 @@ class DHFConfig:
             patience=self.early_stop_patience,
             rel_tol=self.early_stop_rel_tol,
         )
+
+    def fit_cache(self) -> Optional[FitCache]:
+        """The process-wide fit cache, or ``None`` when warm starts are off.
+
+        Resolved per call rather than stored on the config so that
+        :class:`DHFSeparator` (and its configs) stay picklable for the
+        service worker pool — every worker lands on the same shared
+        cache for a given ``zoo_path``.
+        """
+        if not self.warm_start:
+            return None
+        return shared_fit_cache(self.zoo_path)
 
     def bandwidth_fn(self):
         """Ridge half-width (aligned-space Hz) as a function of harmonic."""
@@ -185,6 +218,7 @@ class _RoundPrep:
     rng: object
     n_fft: int
     hop: int
+    geometry: PriorGeometry
 
 
 @dataclass
@@ -333,10 +367,16 @@ class DHFSeparator(Separator):
             rng=rng,
             n_fft=n_fft,
             hop=hop,
+            geometry=PriorGeometry(
+                n_freq=spec.magnitude.shape[0],
+                n_frames=spec.magnitude.shape[1],
+                n_fft=n_fft,
+                hop=hop,
+                samples_per_period=cfg.samples_per_period,
+            ),
         )
 
-    @staticmethod
-    def _fit_round(prep: "_RoundPrep") -> Optional[InpaintingResult]:
+    def _fit_round(self, prep: "_RoundPrep") -> Optional[InpaintingResult]:
         """Stage 4, sequential: fit the deep prior to the visible cells.
 
         When the round conceals nothing (no interfering ridge crosses the
@@ -348,6 +388,8 @@ class DHFSeparator(Separator):
         return inpaint_spectrogram(
             prep.spec.magnitude, prep.masks.visibility, prep.inpaint_cfg,
             rng=prep.rng,
+            cache=self.config.fit_cache(),
+            geometry=prep.geometry,
         )
 
     def _finish_round(
@@ -555,6 +597,8 @@ class DHFSeparator(Separator):
                     preps[indices[0]].inpaint_cfg,
                     rngs=[preps[i].rng for i in indices],
                     early_stop=early_stop,
+                    cache=self.config.fit_cache(),
+                    geometry=preps[indices[0]].geometry,
                 )
                 for i, fit in zip(indices, batched):
                     fits[i] = fit

@@ -11,6 +11,7 @@ from repro.experiments.common import (
     run_separation_batch,
     run_streaming_batch,
     table2_specs,
+    with_zoo,
 )
 from repro.experiments.paper_reference import (
     PAPER_CLAIMS,
@@ -49,7 +50,7 @@ __all__ = [
     "ExperimentContext", "TABLE2_METHOD_ORDER", "TABLE2_REGISTRY_NAMES",
     "build_dhf", "build_separators", "display_method_name",
     "method_service", "run_separation_batch", "run_streaming_batch",
-    "table2_specs",
+    "table2_specs", "with_zoo",
     "PAPER_CLAIMS", "PAPER_FIG6_CORRELATION", "PAPER_LOW_POWER_CASES",
     "PAPER_TABLE2", "PAPER_TABLE2_AVERAGE",
     "Table1Result", "run_table1",

@@ -70,6 +70,9 @@ COMMANDS = ("methods",)
 #: Artefacts whose method line-up is selectable with --method/--spec.
 METHOD_ARTEFACTS = ("table2", "figure6", "monitor", "scoreboard")
 
+#: Artefacts whose runners accept ``zoo_path`` (warm-start prior zoo).
+ZOO_ARTEFACTS = ("table2", "figure6", "monitor")
+
 
 def render_methods() -> str:
     """The registered separators, their spec fields, and defaults."""
@@ -170,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
              "monitor: inline JSON or @path to a JSON file (repeatable)",
     )
     parser.add_argument(
+        "--zoo", default=None, metavar="DIR",
+        help="warm-start DHF deep-prior fits from the prior zoo at this "
+             "directory (created if missing; table2/figure6/monitor "
+             "only)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="optional path to also write the rendered output to",
     )
@@ -240,6 +249,15 @@ def main(argv=None) -> int:
                         label = f"{label} #{len(specs)}"
                     specs[label] = spec
                 method_kwargs["specs"] = specs
+
+    if args.zoo is not None:
+        if args.artefact not in ZOO_ARTEFACTS:
+            raise ConfigurationError(
+                f"--zoo warm-starts one of {'/'.join(ZOO_ARTEFACTS)}; "
+                f"run e.g. 'table2 --zoo ...' (got artefact "
+                f"{args.artefact!r})"
+            )
+        method_kwargs["zoo_path"] = args.zoo
 
     context = ExperimentContext.from_name(args.preset, seed=args.seed)
     names = sorted(RUNNERS) if args.artefact == "all" else [args.artefact]

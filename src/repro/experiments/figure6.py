@@ -24,7 +24,7 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import ExperimentContext, table2_specs
+from repro.experiments.common import ExperimentContext, table2_specs, with_zoo
 from repro.experiments.paper_reference import PAPER_FIG6_CORRELATION
 from repro.metrics import correlation_error_improvement
 from repro.service import SeparatorSpec
@@ -117,6 +117,7 @@ def run_figure6(
     methods: Optional[Sequence[str]] = None,
     specs: Optional[Mapping[str, SeparatorSpec]] = None,
     workers: int = 0,
+    zoo_path: Optional[str] = None,
 ) -> Figure6Result:
     """Run the full in-vivo comparison on both simulated ewes.
 
@@ -125,12 +126,16 @@ def run_figure6(
     a proportionally shorter protocol).  The cohort — every requested
     sheep at both wavelengths — runs through one batched service call
     per method; ``workers`` fans the batch out across a thread pool.
+    ``zoo_path`` warm-starts every DHF spec from the prior zoo at that
+    directory (``None`` keeps fits cold).
     """
     context = context or ExperimentContext.from_name()
     if duration_s is None:
         duration_s = 4.0 * context.duration_s
     sheep = sheep or sheep_names()
-    method_specs = figure6_specs(context, methods=methods, specs=specs)
+    method_specs = with_zoo(
+        figure6_specs(context, methods=methods, specs=specs), zoo_path,
+    )
     recordings = [
         make_sheep_recording(name, duration_s=duration_s, seed=context.seed)
         for name in sheep

@@ -23,7 +23,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.experiments.common import ExperimentContext, display_method_name
+from repro.experiments.common import ExperimentContext, display_method_name, with_zoo
 from repro.service import DHFSpec, SeparatorSpec, build_separator, default_spec, separator_entry
 from repro.tfo import (
     DrawEstimate,
@@ -126,8 +126,15 @@ def run_monitor(
     method: Union[str, SeparatorSpec, None] = None,
     chunk_seconds: float = 1.0,
     segment_seconds: float = 30.0,
+    zoo_path: Optional[str] = None,
 ) -> MonitorResult:
-    """Stream one simulated ewe through the live fetal-SpO2 monitor."""
+    """Stream one simulated ewe through the live fetal-SpO2 monitor.
+
+    ``zoo_path`` warm-starts a DHF method's deep-prior fits from the
+    prior zoo at that directory — particularly effective here, where
+    successive streaming segments share one STFT geometry (``None``
+    keeps fits cold).
+    """
     if chunk_seconds <= 0:
         raise ConfigurationError(
             f"chunk_seconds must be positive, got {chunk_seconds}"
@@ -139,6 +146,7 @@ def run_monitor(
         sheep, duration_s=duration_s, seed=context.seed,
     )
     spec = _monitor_spec(context, method)
+    spec = with_zoo({"method": spec}, zoo_path)["method"]
     label = display_method_name(spec.method)
     separator = build_separator(spec)
     fs = recording.sampling_hz

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     records_from_mixtures,
     run_separation_batch,
     table2_specs,
+    with_zoo,
 )
 from repro.service import SeparatorSpec
 from repro.experiments.paper_reference import (
@@ -72,6 +73,8 @@ class Table2Result:
         if "DHF" not in self.scores:
             return claims
         avg = self.averages()
+        if len(avg) < 2:  # DHF alone: nothing to compare against
+            return claims
         best_prev_sdr = max(v[0] for k, v in avg.items() if k != "DHF")
         best_prev_mse = min(v[1] for k, v in avg.items() if k != "DHF")
         claims["sdr_improvement_db"] = avg["DHF"][0] - best_prev_sdr
@@ -137,6 +140,7 @@ def run_table2(
     specs: Optional[Dict[str, SeparatorSpec]] = None,
     workers: int = 0,
     executor: str = "thread",
+    zoo_path: Optional[str] = None,
 ) -> Table2Result:
     """Run the Table 2 comparison, one service batch pass per method.
 
@@ -165,6 +169,10 @@ def run_table2(
         enables vectorized ``separate_batch`` fast paths).
     executor:
         ``"thread"`` or ``"process"`` when ``workers > 1``.
+    zoo_path:
+        Warm-start every DHF spec from the prior zoo at this directory
+        (see :func:`repro.experiments.common.with_zoo`); ``None`` keeps
+        fits cold.
     """
     context = context or ExperimentContext.from_name()
     mixtures = mixtures or mixture_names()
@@ -173,6 +181,7 @@ def run_table2(
     if specs:
         for label, spec in specs.items():
             line_up[str(label)] = spec
+    line_up = with_zoo(line_up, zoo_path)
 
     # The paper scores band-pass-filtered signals; both references (at
     # record-building time) and estimates (pipeline postprocess) pass

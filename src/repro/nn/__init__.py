@@ -36,8 +36,23 @@ from repro.nn.batchfit import (
     batched_instance_norm,
     fit_batched,
 )
-from repro.nn.serialization import load_state, save_state
-from repro.nn import functional, init
+from repro.nn.serialization import (
+    load_arrays,
+    load_state,
+    normalize_state_path,
+    save_arrays,
+    save_state,
+)
+from repro.nn.zoo import (
+    FitCache,
+    FitMetadata,
+    PriorCheckpoint,
+    PriorGeometry,
+    PriorZoo,
+    checkpoint_from_fit,
+    shared_fit_cache,
+)
+from repro.nn import functional, init, zoo
 from repro.nn.gradcheck import check_gradients, numerical_gradient
 
 __all__ = [
@@ -53,7 +68,10 @@ __all__ = [
     "BatchedSpAcLUNet", "BatchFitResult", "EarlyStopConfig",
     "batched_conv2d", "batched_harmonic_conv2d", "batched_instance_norm",
     "fit_batched",
-    "load_state", "save_state",
-    "functional", "init",
+    "load_arrays", "load_state", "normalize_state_path", "save_arrays",
+    "save_state",
+    "FitCache", "FitMetadata", "PriorCheckpoint", "PriorGeometry",
+    "PriorZoo", "checkpoint_from_fit", "shared_fit_cache",
+    "functional", "init", "zoo",
     "check_gradients", "numerical_gradient",
 ]

@@ -34,11 +34,11 @@ workspaces shrink together).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ShapeError
+from repro.errors import ConfigurationError, SerializationError, ShapeError
 from repro.nn import functional as F
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam
@@ -431,6 +431,36 @@ class BatchedSpAcLUNet(Module):
             for name, p in self._parameters.items()
         }
 
+    def load_state_for(self, record: int,
+                       state: Mapping[str, np.ndarray]) -> None:
+        """Load one record's parameters from a ``SpAcLUNet`` state dict.
+
+        The inverse of :meth:`state_for` — this is how warm starts from
+        the prior zoo's :class:`repro.nn.zoo.FitCache` reach individual
+        records of a stacked fit.  Names and per-record shapes must
+        match the template architecture exactly.
+        """
+        if not 0 <= record < self._n_records:
+            raise ShapeError(
+                f"record {record} out of range for batch of {self._n_records}"
+            )
+        own = self._parameters
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise SerializationError(
+                f"warm-start state dict mismatch for record {record}: "
+                f"missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape[1:]:
+                raise ShapeError(
+                    f"parameter {name!r}: warm-start shape {value.shape} "
+                    f"does not match record shape {param.data.shape[1:]}"
+                )
+            param.data[record] = value.astype(param.data.dtype, copy=False)
+
     def compact(self, keep: np.ndarray) -> None:
         """Drop records, keeping only indices ``keep`` (in order)."""
         keep = np.asarray(keep, dtype=np.intp)
@@ -588,6 +618,7 @@ def fit_batched(
     learning_rate: float,
     early_stop: Optional[EarlyStopConfig] = None,
     reference: Optional[np.ndarray] = None,
+    warm_start: Optional[Sequence[Optional[Mapping[str, np.ndarray]]]] = None,
 ) -> BatchFitResult:
     """Fit every record of a stacked network to its own masked target.
 
@@ -610,6 +641,11 @@ def fit_batched(
         Optional normalised ground-truth magnitudes ``(R, F, T)``; when
         given, the concealed-region MSE is tracked per iteration (the
         Fig. 3 diagnostic).
+    warm_start:
+        Optional per-record ``SpAcLUNet`` state dicts (length R, entries
+        may be ``None``) loaded over the stacked initialisation before
+        the first iteration — the prior-zoo warm-start hook.  Records
+        with ``None`` keep their seeded random init.
     """
     n_total = network.n_records
     if code.shape[0] != n_total or target.shape[0] != n_total \
@@ -621,6 +657,16 @@ def fit_batched(
         )
     if iterations < 1:
         raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+    if warm_start is not None:
+        warm_start = list(warm_start)
+        if len(warm_start) != n_total:
+            raise ShapeError(
+                f"warm_start has {len(warm_start)} entries for "
+                f"{n_total} records"
+            )
+        for record, warm in enumerate(warm_start):
+            if warm is not None:
+                network.load_state_for(record, warm)
 
     dtype = code.dtype
     n_freq, n_time = target.shape[2], target.shape[3]

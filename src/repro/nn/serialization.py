@@ -1,9 +1,30 @@
-"""Saving and loading model parameters as ``.npz`` archives."""
+"""Saving and loading model parameters as ``.npz`` archives.
+
+This is the persistence substrate the prior zoo (:mod:`repro.nn.zoo`)
+sits on, so it is deliberately strict:
+
+* **One canonical on-disk name.**  ``np.savez`` silently appends
+  ``.npz`` when the given path lacks the suffix, which historically left
+  ``save_state(net, p)`` writing ``p + ".npz"`` while ``load_state(net,
+  p)`` looked for ``p`` and failed.  :func:`normalize_state_path`
+  resolves the suffix in one place and both sides (and every zoo file)
+  go through it.
+* **Atomic writes.**  Archives are written to a temporary file in the
+  target directory and moved into place with ``os.replace``, so a crash
+  mid-write can never leave a truncated archive behind the final name.
+* **Validated loads.**  Archive contents are checked against the
+  module's parameters before anything is mutated; a missing, extra,
+  mis-shaped or non-numeric entry raises
+  :class:`repro.errors.SerializationError` naming the offending
+  parameter.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+import tempfile
+import zipfile
+from typing import Dict, Mapping
 
 import numpy as np
 
@@ -16,30 +37,129 @@ _FORMAT_KEY = "__repro_format__"
 _FORMAT_VERSION = "1"
 
 
-def save_state(module: Module, path: str) -> None:
-    """Serialise ``module.state_dict()`` to ``path`` (npz)."""
-    state = module.state_dict()
-    payload: Dict[str, np.ndarray] = {_FORMAT_KEY: np.asarray(_FORMAT_VERSION)}
-    payload.update(state)
+def normalize_state_path(path) -> str:
+    """``path`` with the ``.npz`` suffix numpy's writer would append.
+
+    Both :func:`save_state` and :func:`load_state` resolve the on-disk
+    name through this helper, so a suffix-less path round-trips: the
+    archive is written to, and read from, ``path + ".npz"``.
+    """
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def save_arrays(arrays: Mapping[str, np.ndarray], path) -> str:
+    """Atomically write a named-array ``.npz`` archive.
+
+    Returns the path actually written (``.npz`` appended when missing).
+    The payload lands in a temporary file in the target directory first
+    and is moved over the final name with ``os.replace``, so readers
+    never observe a partially written archive.
+    """
+    path = normalize_state_path(path)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **payload)
+    payload: Dict[str, np.ndarray] = {_FORMAT_KEY: np.asarray(_FORMAT_VERSION)}
+    for name, value in arrays.items():
+        if name == _FORMAT_KEY:
+            raise SerializationError(
+                f"array name {name!r} is reserved for the format marker"
+            )
+        payload[name] = np.asarray(value)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
+    return path
+
+
+def load_arrays(path) -> Dict[str, np.ndarray]:
+    """Read an archive written by :func:`save_arrays`.
+
+    Raises :class:`repro.errors.SerializationError` when the file is
+    missing, unreadable, not a repro archive, or of an unknown format
+    version.
+    """
+    path = normalize_state_path(path)
+    if not os.path.exists(path):
+        raise SerializationError(f"state file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            keys = set(archive.files)
+            if _FORMAT_KEY not in keys:
+                raise SerializationError(
+                    f"{path} is not a repro state archive (missing format "
+                    f"marker)"
+                )
+            version = str(archive[_FORMAT_KEY])
+            if version != _FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported state format version {version!r}"
+                )
+            return {k: archive[k] for k in keys if k != _FORMAT_KEY}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SerializationError(
+            f"{path} is not a readable npz archive ({exc})"
+        ) from exc
+
+
+def save_state(module: Module, path: str) -> str:
+    """Serialise ``module.state_dict()`` to ``path`` (npz, atomic).
+
+    Returns the path actually written — ``path`` itself when it ends in
+    ``.npz``, else ``path + ".npz"`` (matching :func:`load_state`).
+    """
+    return save_arrays(module.state_dict(), path)
+
+
+def _validate_state(module: Module, state: Mapping[str, np.ndarray],
+                    path: str) -> None:
+    """Check archive arrays against the module before loading anything."""
+    own = dict(module.named_parameters())
+    missing = sorted(set(own) - set(state))
+    if missing:
+        more = f" (+{len(missing) - 1} more)" if len(missing) > 1 else ""
+        raise SerializationError(
+            f"{path}: archive has no value for parameter "
+            f"{missing[0]!r}{more}"
+        )
+    extra = sorted(set(state) - set(own))
+    if extra:
+        more = f" (+{len(extra) - 1} more)" if len(extra) > 1 else ""
+        raise SerializationError(
+            f"{path}: archive entry {extra[0]!r}{more} does not name a "
+            f"module parameter"
+        )
+    for name, param in own.items():
+        value = state[name]
+        if value.shape != param.data.shape:
+            raise SerializationError(
+                f"{path}: parameter {name!r} has shape {value.shape} in "
+                f"the archive but {param.data.shape} in the module"
+            )
+        if not np.issubdtype(value.dtype, np.number):
+            raise SerializationError(
+                f"{path}: parameter {name!r} has non-numeric archive "
+                f"dtype {value.dtype}"
+            )
 
 
 def load_state(module: Module, path: str) -> None:
-    """Restore parameters saved with :func:`save_state` into ``module``."""
-    if not os.path.exists(path):
-        raise SerializationError(f"state file not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        keys = set(archive.files)
-        if _FORMAT_KEY not in keys:
-            raise SerializationError(
-                f"{path} is not a repro state archive (missing format marker)"
-            )
-        version = str(archive[_FORMAT_KEY])
-        if version != _FORMAT_VERSION:
-            raise SerializationError(
-                f"unsupported state format version {version!r}"
-            )
-        state = {k: archive[k] for k in keys if k != _FORMAT_KEY}
+    """Restore parameters saved with :func:`save_state` into ``module``.
+
+    The archive is validated against the module's parameter table first
+    (names, shapes, numeric dtypes); any mismatch raises
+    :class:`repro.errors.SerializationError` naming the offending
+    parameter, and the module is left untouched.
+    """
+    path = normalize_state_path(path)
+    state = load_arrays(path)
+    _validate_state(module, state, path)
     module.load_state_dict(state)

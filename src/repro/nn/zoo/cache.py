@@ -1,0 +1,191 @@
+"""In-process LRU fit-cache, with optional zoo write-through.
+
+A :class:`FitCache` holds recently fitted priors keyed by
+``(PriorGeometry, config signature)`` and answers warm-start lookups:
+
+* **exact hit** — the same geometry and an identical configuration were
+  fitted before; the entry's recency is refreshed;
+* **near miss** — no exact entry, but a same-geometry entry whose
+  :func:`repro.nn.zoo.checkpoint.structure_signature` matches (its state
+  dict loads into the new network) exists; the closest one by
+  :func:`repro.nn.zoo.checkpoint.config_distance` is returned *without*
+  a recency bump, so eviction order stays governed by exact traffic.
+
+:func:`shared_fit_cache` memoises one process-wide instance per zoo
+path — the same double-checked-lock idiom as the STFT-plan cache in
+:mod:`repro.dsp.plan` — so every :class:`repro.service.SeparationService`
+worker thread warm-starts from (and feeds) one shared pool.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.nn.zoo.checkpoint import (
+    PriorCheckpoint,
+    PriorGeometry,
+    config_distance,
+    config_signature,
+    structure_signature,
+)
+from repro.nn.zoo.store import PriorZoo
+
+
+class FitCache:
+    """Bounded LRU cache of :class:`PriorCheckpoint` s.  Thread-safe.
+
+    With a :class:`repro.nn.zoo.PriorZoo` attached, existing checkpoints
+    are pre-loaded at construction (most recent ``capacity`` survive the
+    LRU bound) and every :meth:`store` writes through to disk — so a
+    zoo-backed cache stays warm across processes.
+    """
+
+    def __init__(self, capacity: int = 32, zoo: Optional[PriorZoo] = None):
+        if not isinstance(capacity, int) or isinstance(capacity, bool) \
+                or capacity < 1:
+            raise ConfigurationError(
+                f"FitCache capacity must be a positive int, got {capacity!r}"
+            )
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple, PriorCheckpoint]" = OrderedDict()
+        self._zoo = zoo
+        self.hits = 0
+        self.near_hits = 0
+        self.misses = 0
+        self.stores = 0
+        if zoo is not None:
+            for checkpoint in zoo.checkpoints():
+                self._insert(checkpoint)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def zoo(self) -> Optional[PriorZoo]:
+        return self._zoo
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def _insert(self, checkpoint: PriorCheckpoint) -> None:
+        key = checkpoint.key()
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            self._entries[key] = checkpoint
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[Tuple]:
+        """Cache keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the attached zoo is untouched)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: size/hits/near_hits/misses/stores."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "near_hits": self.near_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Warm-start protocol
+    # ------------------------------------------------------------------ #
+    def lookup(self, geometry: PriorGeometry,
+               config) -> Optional[PriorCheckpoint]:
+        """The best warm-start candidate for ``(geometry, config)``.
+
+        Exact key hits refresh LRU recency; near misses (same geometry,
+        load-compatible structure, smallest config distance) do not.
+        Returns ``None`` when nothing eligible is cached.
+        """
+        key = (geometry, config_signature(config))
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return hit
+            structure = structure_signature(config)
+            best: Optional[PriorCheckpoint] = None
+            best_distance = float("inf")
+            for candidate in self._entries.values():
+                if candidate.geometry != geometry:
+                    continue
+                if structure_signature(candidate.config) != structure:
+                    continue
+                distance = config_distance(config, candidate.config)
+                if distance < best_distance:
+                    best, best_distance = candidate, distance
+            if best is not None:
+                self.near_hits += 1
+                return best
+            self.misses += 1
+            return None
+
+    def store(self, checkpoint: PriorCheckpoint) -> PriorCheckpoint:
+        """Insert a finished fit (evicting LRU; zoo write-through)."""
+        self._insert(checkpoint)
+        with self._lock:
+            self.stores += 1
+        if self._zoo is not None:
+            self._zoo.put(checkpoint)
+        return checkpoint
+
+
+# --------------------------------------------------------------------- #
+# The process-wide shared caches (one per zoo path), mirroring the
+# STFT-plan cache idiom of repro.dsp.plan: lock-free fast path, then a
+# double-checked insert under the lock.
+# --------------------------------------------------------------------- #
+_SHARED_CACHES: Dict[Optional[str], FitCache] = {}
+_SHARED_LOCK = threading.Lock()
+_SHARED_CAPACITY = 64
+
+
+def shared_fit_cache(zoo_path=None,
+                     capacity: int = _SHARED_CAPACITY) -> FitCache:
+    """The process-wide :class:`FitCache` for ``zoo_path``.
+
+    ``zoo_path=None`` (or ``""``) names the purely in-memory cache;
+    anything else is resolved to an absolute directory backing the cache
+    with a :class:`repro.nn.zoo.PriorZoo` (created on first use).  Every
+    caller passing the same path shares one instance, so separators and
+    service worker threads pool their fits service-wide.  ``capacity``
+    only applies when the instance is first created.
+    """
+    key = os.path.abspath(os.fspath(zoo_path)) if zoo_path else None
+    cache = _SHARED_CACHES.get(key)
+    if cache is None:
+        with _SHARED_LOCK:
+            cache = _SHARED_CACHES.get(key)
+            if cache is None:
+                zoo = PriorZoo(key) if key is not None else None
+                cache = FitCache(capacity=capacity, zoo=zoo)
+                _SHARED_CACHES[key] = cache
+    return cache
+
+
+def clear_shared_fit_caches() -> None:
+    """Forget every process-wide cache (tests and memory hygiene)."""
+    with _SHARED_LOCK:
+        _SHARED_CACHES.clear()

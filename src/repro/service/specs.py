@@ -294,6 +294,18 @@ class DHFSpec(SeparatorSpec):
     #: to the documented <= 1e-8 (see docs/architecture.md, "Deep-prior
     #: fitting engine") at roughly twice the fit cost.
     dtype: str = "float32"
+    #: Warm-start deep-prior fits from the process-wide
+    #: :func:`repro.nn.zoo.shared_fit_cache`.  The cache is shared
+    #: service-wide (same idiom as the STFT-plan cache), so repeated
+    #: same-geometry requests amortise each other's fits.  Off by
+    #: default: warm runs are not bitwise identical to cold ones once
+    #: the cache is populated.
+    warm_start: bool = False
+    #: Directory of an on-disk :class:`repro.nn.zoo.PriorZoo` backing
+    #: the shared cache (checkpoints persist across service restarts).
+    #: Empty string keeps the cache purely in-memory.  Only meaningful
+    #: with ``warm_start=True``.
+    zoo_path: str = ""
 
     def __post_init__(self):
         self._check_positive_int(
@@ -306,6 +318,14 @@ class DHFSpec(SeparatorSpec):
             raise ConfigurationError(
                 f"DHFSpec.dtype must be 'float32' or 'float64', got "
                 f"{self.dtype!r}"
+            )
+        if not isinstance(self.warm_start, bool):
+            raise ConfigurationError(
+                f"DHFSpec.warm_start must be a bool, got {self.warm_start!r}"
+            )
+        if not isinstance(self.zoo_path, str):
+            raise ConfigurationError(
+                f"DHFSpec.zoo_path must be a str, got {self.zoo_path!r}"
             )
         # Cross-field constraints (hop vs window, phase policy, the
         # 'auto' dilation sentinel) are enforced by DHFConfig itself;
@@ -341,6 +361,8 @@ class DHFSpec(SeparatorSpec):
             batch_fit=self.batch_fit,
             early_stop_patience=self.early_stop_patience,
             early_stop_rel_tol=self.early_stop_rel_tol,
+            warm_start=self.warm_start,
+            zoo_path=self.zoo_path or None,
         )
 
     @classmethod

@@ -120,6 +120,27 @@ class TestMethodAndSpecFlags:
         # No DHF table row (the title always names both methods).
         assert "| DHF" not in out
 
+
+class TestZooFlag:
+    def test_zoo_flag_requires_method_artefact(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="--zoo"):
+            main(["table1", "--preset", "smoke",
+                  "--zoo", str(tmp_path / "zoo")])
+
+    def test_zoo_flag_populates_zoo(self, capsys, tmp_path):
+        from repro.nn.zoo import clear_shared_fit_caches
+
+        clear_shared_fit_caches()
+        try:
+            zoo_dir = tmp_path / "zoo"
+            assert main([
+                "table2", "--preset", "smoke", "--method", "dhf",
+                "--zoo", str(zoo_dir),
+            ]) == 0
+            assert (zoo_dir / "manifest.json").exists()
+        finally:
+            clear_shared_fit_caches()
+
     def test_figure6_spec_flag(self, capsys):
         spec = {"method": "spectral-masking", "n_harmonics": 2}
         assert main([

@@ -1,0 +1,140 @@
+"""Golden regression fixture for the warm-start prior zoo.
+
+Pins the exact warm-vs-cold convergence behaviour of the fit cache on a
+fixed synthetic record: the cold fit's early-stop iteration count and
+SDR, and the warm fit's (started from the cold fit's cached network).
+Any change that silently degrades the warm-start path — a broken cache
+key, a state dict that no longer loads, a perturbed fit — moves these
+numbers and fails here.
+
+Regenerate intentionally with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_warmstart.py -q
+
+and commit the updated JSON alongside the change that moved the numbers.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.inpainting import InpaintingConfig, inpaint_spectrograms
+from repro.metrics import sdr_db
+from repro.nn.batchfit import EarlyStopConfig
+from repro.nn.zoo import FitCache, PriorGeometry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "warmstart_smoke.json"
+
+#: Fixture configuration; changing any of these invalidates the fixture.
+N_FREQ, N_FRAMES = 33, 40
+ITERATIONS = 120
+SEED = 0
+
+#: |SDR delta| tolerated before the regression trips (same reasoning as
+#: the Table 2 fixture: float noise stays far below, real changes move
+#: more).
+SDR_ATOL_DB = 1e-3
+
+_REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def build_record():
+    rng = np.random.default_rng(SEED)
+    frames = np.arange(N_FRAMES)
+    magnitude = np.full((N_FREQ, N_FRAMES), 0.01)
+    for harmonic in (4, 8, 12, 16):
+        amplitude = 1.0 + 0.3 * np.sin(
+            frames / rng.uniform(3.0, 6.0) + rng.uniform(0, 6)
+        )
+        magnitude[harmonic] += amplitude
+    visibility = np.ones((N_FREQ, N_FRAMES), dtype=bool)
+    start = rng.integers(4, 10)
+    visibility[:, start: start + 6] = False
+    start = rng.integers(22, 28)
+    visibility[:, start: start + 5] = False
+    return magnitude, visibility
+
+
+@pytest.fixture(scope="module")
+def warmstart_result():
+    config = InpaintingConfig(
+        iterations=ITERATIONS, learning_rate=8e-3, base_channels=6,
+        depth=2, in_channels=8, time_dilation=5, dtype=np.float64,
+    )
+    early = EarlyStopConfig(patience=10, rel_tol=1e-3, min_iterations=10)
+    magnitude, visibility = build_record()
+    geometry = PriorGeometry(n_freq=N_FREQ, n_frames=N_FRAMES)
+    cache = FitCache(capacity=8)
+    passes = {}
+    for label in ("cold", "warm"):
+        fit, = inpaint_spectrograms(
+            [magnitude], [visibility], config, rngs=[0], early_stop=early,
+            cache=cache, geometry=geometry,
+        )
+        passes[label] = {
+            "iterations": int(len(fit.losses)),
+            "sdr_db": float(sdr_db(fit.output.ravel(), magnitude.ravel())),
+        }
+    return passes
+
+
+def _serialize(passes) -> dict:
+    return {
+        "config": {
+            "n_freq": N_FREQ, "n_frames": N_FRAMES,
+            "iterations": ITERATIONS, "seed": SEED,
+        },
+        "passes": passes,
+    }
+
+
+def _load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture missing: {GOLDEN_PATH}. Generate it with "
+            f"REPRO_REGEN_GOLDEN=1 and commit the file."
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.skipif(not _REGEN, reason="set REPRO_REGEN_GOLDEN=1 to regenerate")
+def test_regenerate_golden(warmstart_result):
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(_serialize(warmstart_result), indent=2, sort_keys=True)
+        + "\n"
+    )
+    pytest.skip(f"golden fixture rewritten at {GOLDEN_PATH}")
+
+
+@pytest.mark.skipif(_REGEN, reason="regenerating, comparison suspended")
+class TestGoldenWarmstart:
+    def test_config_matches(self):
+        golden = _load_golden()
+        assert golden["config"] == {
+            "n_freq": N_FREQ, "n_frames": N_FRAMES,
+            "iterations": ITERATIONS, "seed": SEED,
+        }, "fixture was generated for a different configuration"
+
+    def test_passes_match_golden(self, warmstart_result):
+        golden = _load_golden()["passes"]
+        for label in ("cold", "warm"):
+            assert warmstart_result[label]["iterations"] == \
+                golden[label]["iterations"], (
+                    f"{label} fit iteration count drifted; regenerate the "
+                    f"fixture if intended"
+                )
+            assert abs(warmstart_result[label]["sdr_db"]
+                       - golden[label]["sdr_db"]) <= SDR_ATOL_DB, (
+                f"{label} fit SDR drifted from golden"
+            )
+
+    def test_warm_start_targets_hold(self, warmstart_result):
+        cold, warm = warmstart_result["cold"], warmstart_result["warm"]
+        assert cold["iterations"] >= 1.5 * warm["iterations"]
+        assert abs(cold["sdr_db"] - warm["sdr_db"]) <= 0.01

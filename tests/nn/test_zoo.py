@@ -1,0 +1,322 @@
+"""Tests for the warm-start prior zoo (checkpoint, store, fit-cache)."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.inpainting import InpaintingConfig
+from repro.errors import ConfigurationError, SerializationError
+from repro.nn.zoo import (
+    FitCache,
+    PriorCheckpoint,
+    PriorGeometry,
+    PriorZoo,
+    checkpoint_from_fit,
+    clear_shared_fit_caches,
+    config_distance,
+    config_from_dict,
+    config_signature,
+    config_to_dict,
+    shared_fit_cache,
+    structure_signature,
+)
+
+GEOMETRY = PriorGeometry(n_freq=17, n_frames=24, n_fft=32, hop=8,
+                         samples_per_period=32)
+
+
+def make_config(**overrides):
+    base = dict(iterations=20, learning_rate=8e-3, base_channels=6,
+                depth=2, in_channels=4, time_dilation=3, dtype=np.float64)
+    base.update(overrides)
+    return InpaintingConfig(**base)
+
+
+def make_checkpoint(config=None, geometry=GEOMETRY, fill=1.0):
+    config = config or make_config()
+    return checkpoint_from_fit(
+        geometry, config,
+        state={"net.weight": np.full((3, 2), fill),
+               "net.bias": np.zeros(3)},
+        losses=[0.5, 0.3, 0.2],
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolate_shared_caches():
+    clear_shared_fit_caches()
+    yield
+    clear_shared_fit_caches()
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint / key semantics
+# --------------------------------------------------------------------- #
+def test_config_dict_roundtrip():
+    config = make_config()
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert config_signature(rebuilt) == config_signature(config)
+
+
+def test_config_from_dict_rejects_unknown_field():
+    data = config_to_dict(make_config())
+    data["bogus"] = 1
+    with pytest.raises(SerializationError, match="bogus"):
+        config_from_dict(data)
+
+
+def test_checkpoint_id_deterministic():
+    a, b = make_checkpoint(), make_checkpoint()
+    assert a.checkpoint_id() == b.checkpoint_id()
+    other = make_checkpoint(config=make_config(learning_rate=1e-2))
+    assert other.checkpoint_id() != a.checkpoint_id()
+
+
+def test_structure_signature_ignores_optimiser_knobs():
+    a = make_config()
+    b = make_config(learning_rate=1e-2, iterations=99, time_dilation=5)
+    assert structure_signature(a) == structure_signature(b)
+    c = make_config(base_channels=8)
+    assert structure_signature(a) != structure_signature(c)
+
+
+def test_config_distance_scale_free():
+    a = make_config()
+    halved = make_config(learning_rate=a.learning_rate / 2)
+    doubled = make_config(learning_rate=a.learning_rate * 2)
+    assert config_distance(a, a) == 0.0
+    assert config_distance(a, halved) == pytest.approx(
+        config_distance(a, doubled))
+    assert config_distance(a, halved) == pytest.approx(np.log(2.0))
+
+
+def test_checkpoint_state_is_copied():
+    source = np.ones((3, 2))
+    checkpoint = checkpoint_from_fit(
+        GEOMETRY, make_config(), state={"w": source}, losses=[0.1],
+    )
+    source[:] = 99.0
+    assert float(checkpoint.state["w"].max()) == 1.0
+    copy = checkpoint.state_copy()
+    copy["w"][:] = -1.0
+    assert float(checkpoint.state["w"].max()) == 1.0
+
+
+def test_checkpoint_final_loss_respects_rollback():
+    checkpoint = checkpoint_from_fit(
+        GEOMETRY, make_config(), state={"w": np.ones(2)},
+        losses=[0.5, 0.2, 0.4, 0.6], stop_iteration=1,
+    )
+    assert checkpoint.metadata.final_loss == pytest.approx(0.2)
+    assert checkpoint.metadata.stop_iteration == 1
+    assert checkpoint.metadata.iterations == 4
+
+
+# --------------------------------------------------------------------- #
+# FitCache: LRU + lookup semantics
+# --------------------------------------------------------------------- #
+def test_cache_capacity_validated():
+    with pytest.raises(ConfigurationError):
+        FitCache(capacity=0)
+
+
+def test_lru_eviction_order():
+    cache = FitCache(capacity=2)
+    first = make_checkpoint(config=make_config(learning_rate=1e-3))
+    second = make_checkpoint(config=make_config(learning_rate=2e-3))
+    third = make_checkpoint(config=make_config(learning_rate=3e-3))
+    cache.store(first)
+    cache.store(second)
+    cache.store(third)  # evicts `first`, the least recently used
+    assert len(cache) == 2
+    assert cache.keys() == [second.key(), third.key()]
+    assert cache.lookup(GEOMETRY, first.config) is not first
+
+
+def test_exact_hit_refreshes_recency():
+    cache = FitCache(capacity=2)
+    first = make_checkpoint(config=make_config(learning_rate=1e-3))
+    second = make_checkpoint(config=make_config(learning_rate=2e-3))
+    cache.store(first)
+    cache.store(second)
+    assert cache.lookup(GEOMETRY, first.config) is first  # bump recency
+    third = make_checkpoint(config=make_config(learning_rate=3e-3))
+    cache.store(third)  # now evicts `second`
+    assert cache.keys() == [first.key(), third.key()]
+
+
+def test_near_miss_does_not_refresh_recency():
+    cache = FitCache(capacity=2)
+    first = make_checkpoint(config=make_config(learning_rate=1e-3))
+    second = make_checkpoint(config=make_config(learning_rate=2e-3))
+    cache.store(first)
+    cache.store(second)
+    probe = make_config(learning_rate=1.01e-3)  # nearest: `first`
+    assert cache.lookup(GEOMETRY, probe) is first
+    assert cache.stats()["near_hits"] == 1
+    cache.store(make_checkpoint(config=make_config(learning_rate=3e-3)))
+    assert first.key() not in cache.keys()  # still first out
+
+
+def test_near_miss_picks_closest_config():
+    cache = FitCache(capacity=4)
+    far = make_checkpoint(config=make_config(learning_rate=1e-1))
+    near = make_checkpoint(config=make_config(learning_rate=9e-3))
+    cache.store(far)
+    cache.store(near)
+    assert cache.lookup(GEOMETRY, make_config()) is near
+
+
+def test_near_miss_requires_same_structure():
+    cache = FitCache(capacity=4)
+    cache.store(make_checkpoint(config=make_config(base_channels=8)))
+    assert cache.lookup(GEOMETRY, make_config()) is None
+    assert cache.stats()["misses"] == 1
+
+
+def test_near_miss_requires_same_geometry():
+    cache = FitCache(capacity=4)
+    other = PriorGeometry(n_freq=17, n_frames=30)
+    cache.store(make_checkpoint(geometry=other))
+    assert cache.lookup(GEOMETRY, make_config()) is None
+
+
+def test_cache_clear_keeps_zoo(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    cache = FitCache(capacity=4, zoo=zoo)
+    cache.store(make_checkpoint())
+    cache.clear()
+    assert len(cache) == 0
+    assert len(zoo) == 1
+
+
+def test_cache_thread_safety():
+    cache = FitCache(capacity=8)
+    configs = [make_config(learning_rate=(k + 1) * 1e-3) for k in range(16)]
+    errors = []
+
+    def hammer(offset):
+        try:
+            for k in range(60):
+                config = configs[(k + offset) % len(configs)]
+                cache.store(make_checkpoint(config=config))
+                cache.lookup(GEOMETRY, configs[k % len(configs)])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(cache) <= 8
+    stats = cache.stats()
+    assert stats["stores"] == 6 * 60
+
+
+# --------------------------------------------------------------------- #
+# PriorZoo: persistence + integrity
+# --------------------------------------------------------------------- #
+def test_zoo_roundtrip(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    checkpoint = make_checkpoint()
+    zoo_id = zoo.put(checkpoint)
+    assert zoo_id == checkpoint.checkpoint_id()
+    assert zoo_id in zoo
+    assert len(zoo) == 1
+    assert zoo.verify() == []
+
+    loaded = zoo.get(zoo_id)
+    assert loaded.geometry == checkpoint.geometry
+    assert config_signature(loaded.config) == \
+        config_signature(checkpoint.config)
+    assert loaded.prior_kind == checkpoint.prior_kind
+    assert loaded.metadata == checkpoint.metadata
+    assert sorted(loaded.state) == sorted(checkpoint.state)
+    for name in checkpoint.state:
+        np.testing.assert_array_equal(loaded.state[name],
+                                      checkpoint.state[name])
+
+
+def test_zoo_unknown_id(tmp_path):
+    with pytest.raises(SerializationError, match="unknown"):
+        PriorZoo(str(tmp_path)).get("nope")
+
+
+def test_zoo_manifest_corruption(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    zoo.put(make_checkpoint())
+    (tmp_path / "manifest.json").write_text("{ not json")
+    with pytest.raises(SerializationError):
+        PriorZoo(str(tmp_path)).ids()
+
+
+def test_zoo_manifest_bad_version(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    zoo.put(make_checkpoint())
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    manifest["format"] = 999
+    (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(SerializationError, match="format"):
+        PriorZoo(str(tmp_path)).ids()
+
+
+def test_zoo_tampered_archive_fails_integrity(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    zoo_id = zoo.put(make_checkpoint())
+    archive = tmp_path / f"{zoo_id}.npz"
+    data = bytearray(archive.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    archive.write_bytes(bytes(data))
+    with pytest.raises(SerializationError, match="integrity"):
+        PriorZoo(str(tmp_path)).get(zoo_id)
+
+
+def test_zoo_missing_archive(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    zoo_id = zoo.put(make_checkpoint())
+    (tmp_path / f"{zoo_id}.npz").unlink()
+    with pytest.raises(SerializationError):
+        zoo.get(zoo_id)
+    assert PriorZoo(str(tmp_path)).verify() != []
+
+
+def test_zoo_write_through_warms_new_cache(tmp_path):
+    checkpoint = make_checkpoint()
+    FitCache(capacity=4, zoo=PriorZoo(str(tmp_path))).store(checkpoint)
+    # A fresh cache (fresh process, in effect) preloads from disk.
+    reloaded = FitCache(capacity=4, zoo=PriorZoo(str(tmp_path)))
+    assert len(reloaded) == 1
+    hit = reloaded.lookup(GEOMETRY, checkpoint.config)
+    assert hit is not None
+    np.testing.assert_array_equal(hit.state["net.weight"],
+                                  checkpoint.state["net.weight"])
+
+
+def test_corrupt_zoo_surfaces_on_cache_construction(tmp_path):
+    zoo = PriorZoo(str(tmp_path))
+    zoo.put(make_checkpoint())
+    (tmp_path / "manifest.json").write_text("[]")
+    with pytest.raises(SerializationError):
+        FitCache(capacity=4, zoo=PriorZoo(str(tmp_path)))
+
+
+# --------------------------------------------------------------------- #
+# shared_fit_cache
+# --------------------------------------------------------------------- #
+def test_shared_cache_identity(tmp_path):
+    in_memory = shared_fit_cache()
+    assert shared_fit_cache() is in_memory
+    assert in_memory.zoo is None
+
+    keyed = shared_fit_cache(str(tmp_path))
+    assert keyed is not in_memory
+    # Path spelling does not matter — abspath keys the registry.
+    assert shared_fit_cache(str(tmp_path) + "/") is keyed
+    assert keyed.zoo is not None
+
+    clear_shared_fit_caches()
+    assert shared_fit_cache() is not in_memory
