@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart scoreboard-smoke bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart gateway-smoke scoreboard-smoke bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
@@ -19,6 +19,8 @@ help:
 	@echo "                       zero-severity==clean asserted)"
 	@echo "make bench-warmstart - prior-zoo warm-start benchmark (asserts >= 1.5x"
 	@echo "                       fewer iterations at equal quality)"
+	@echo "make gateway-smoke   - HTTP gateway benchmark, smoke preset (job"
+	@echo "                       lifecycle + concurrent monitor feeds, bitwise-checked)"
 	@echo "make scoreboard-smoke- robustness scoreboard artefact, smoke preset"
 	@echo "make bench-all       - all paper-artefact benchmarks (pytest-benchmark)"
 	@echo "make docs-check      - docs exist + documented names import + registry documented"
@@ -49,6 +51,9 @@ bench-scenarios:
 bench-warmstart:
 	$(PYTHON) benchmarks/bench_warmstart.py
 
+gateway-smoke:
+	$(PYTHON) benchmarks/bench_gateway.py --smoke
+
 scoreboard-smoke:
 	$(PYTHON) -m repro.experiments.cli scoreboard --preset smoke
 
@@ -70,7 +75,7 @@ smoke:
 # (the batched in-vivo cohort gate) and bench_scenarios --smoke (the
 # degradation-grid gate).  scoreboard-smoke regenerates the robustness
 # artefact over the full separator line-up.
-ci: bench-inpainting bench-warmstart scoreboard-smoke
+ci: bench-inpainting bench-warmstart gateway-smoke scoreboard-smoke
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh
 	$(PYTHON) scripts/check_docs.py

@@ -37,6 +37,7 @@ PUBLIC_PACKAGES = [
     "repro.scenarios",
     "repro.tfo",
     "repro.experiments",
+    "repro.gateway",
 ]
 
 #: (package, attribute) pairs that must resolve AND be mentioned in the
@@ -69,6 +70,13 @@ REQUIRED_DOC_NAMES = [
     ("repro.nn", "shared_fit_cache"),
     ("repro.nn", "save_state"),
     ("repro.nn", "load_state"),
+    ("repro.gateway", "Gateway"),
+    ("repro.gateway", "GatewayClient"),
+    ("repro.gateway", "GatewayConfig"),
+    ("repro.gateway", "JobRecord"),
+    ("repro.gateway", "JOB_STATES"),
+    ("repro.gateway", "CallbackClient"),
+    ("repro.gateway", "MonitorSessionManager"),
 ]
 
 

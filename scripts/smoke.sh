@@ -34,4 +34,7 @@ python benchmarks/bench_scenarios.py --smoke
 echo "== bench_warmstart --smoke =="
 python benchmarks/bench_warmstart.py --smoke
 
+echo "== bench_gateway --smoke =="
+python benchmarks/bench_gateway.py --smoke
+
 echo "smoke: OK"

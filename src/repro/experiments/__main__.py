@@ -1,0 +1,19 @@
+"""``python -m repro.experiments`` — the experiment harness front door.
+
+Delegates to :mod:`repro.experiments.cli`, so both spellings work::
+
+    python -m repro.experiments table2 --preset smoke
+    python -m repro.experiments serve --config @gateway.json
+"""
+
+import sys
+
+from repro import errors
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except errors.ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

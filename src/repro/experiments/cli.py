@@ -64,8 +64,10 @@ RUNNERS: Dict[str, Callable] = {
     "ablation-phase": run_phase_policy_ablation,
 }
 
-#: Commands that inspect the registry instead of running an experiment.
-COMMANDS = ("methods",)
+#: Commands that are not experiment runners: registry inspection and the
+#: serving gateway (``serve`` is dispatched to
+#: :mod:`repro.experiments.serve`, which owns its own flags).
+COMMANDS = ("methods", "serve")
 
 #: Artefacts whose method line-up is selectable with --method/--spec.
 METHOD_ARTEFACTS = ("table2", "figure6", "monitor", "scoreboard")
@@ -194,6 +196,12 @@ def run_one(name: str, context: ExperimentContext, **kwargs) -> str:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["serve"]:
+        # The gateway command has its own flag set (--config/--submit/
+        # --status); hand the rest of the line to its parser untouched.
+        from repro.experiments.serve import main as serve_main
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.artefact == "methods":

@@ -150,6 +150,7 @@ class StreamSession:
         self._indices: Dict[str, int] = {}
         self._external_pool = pool
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Subject management
@@ -158,6 +159,7 @@ class StreamSession:
         """Register a new stream; raises on duplicates."""
         from repro.streaming import StreamingSeparator
 
+        self._check_open()
         if name in self._engines:
             raise ConfigurationError(f"subject {name!r} already exists")
         self._engines[name] = StreamingSeparator(
@@ -190,6 +192,7 @@ class StreamSession:
         self, subject: str, samples, f0_tracks: Mapping[str, np.ndarray]
     ) -> ChunkResult:
         """Push one chunk for one subject; returns its :class:`ChunkResult`."""
+        self._check_open()
         engine = self._engine(subject)
         start = engine.n_emitted
         n_in = np.asarray(samples).size
@@ -213,6 +216,7 @@ class StreamSession:
         the session's thread pool; engine state stays per-subject, so no
         two tasks touch the same engine.
         """
+        self._check_open()
         items = list(chunks.items())
         for subject, _ in items:  # fail fast before any state mutates
             self._engine(subject)
@@ -230,6 +234,7 @@ class StreamSession:
 
     def flush(self, subject: str) -> ChunkResult:
         """Flush one subject's engine; returns the final chunk."""
+        self._check_open()
         engine = self._engine(subject)
         start = engine.n_emitted
         t0 = time.perf_counter()
@@ -244,6 +249,7 @@ class StreamSession:
 
     def flush_all(self) -> Dict[str, ChunkResult]:
         """Flush every subject (fanned out like :meth:`push_many`)."""
+        self._check_open()
         names = self.subjects()
         if self.workers > 1 and len(names) > 1:
             pool = self._ensure_pool()
@@ -254,7 +260,28 @@ class StreamSession:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; closed sessions refuse work."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Refuse pushes/flushes on a closed session, loudly.
+
+        Historically :meth:`_ensure_pool` silently recreated a worker
+        pool after ``close()``, so a reaped session kept accepting
+        chunks while leaking the recreated pool.  Session reapers (the
+        gateway's idle-timeout sweep in particular) depend on closed
+        sessions failing fast.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"StreamSession({self.separator.name!r}) is closed; "
+                f"create a new session instead of reusing a closed one"
+            )
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
+        self._check_open()
         if self._external_pool is not None:
             return self._external_pool
         if self._pool is None:
@@ -262,7 +289,12 @@ class StreamSession:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the session-owned pool (external pools are left up)."""
+        """Shut down the session-owned pool (external pools are left up).
+
+        Idempotent: closing twice is a no-op.  Any later push, flush, or
+        ``add_subject`` raises :class:`RuntimeError`.
+        """
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

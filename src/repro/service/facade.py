@@ -229,10 +229,31 @@ class SeparationService:
         self.postprocess = postprocess
         self.score = bool(score)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Mode routing
     # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; closed services refuse work."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        """Refuse to run on a closed service, loudly.
+
+        Historically the lazy :meth:`_shared_pool` path silently rebuilt
+        a worker pool after ``close()``, which made reaped services look
+        alive (and leaked the recreated pool).  Lifecycle managers — the
+        gateway's worker tier in particular — depend on a closed service
+        failing fast instead.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"SeparationService({self.separator.name!r}) is closed; "
+                f"create a new service instead of reusing a closed one"
+            )
+
     def separate(
         self,
         record: Union[SeparationRecord, Mapping[str, Any], None] = None,
@@ -246,6 +267,7 @@ class SeparationService:
         DHF's per-round masks, losses, and residual) on
         :attr:`SeparationOutcome.detail`.
         """
+        self._check_open()
         rec = as_record(record, **record_fields)
         detail = None
         if detailed and hasattr(self.separator, "separate_detailed"):
@@ -272,6 +294,7 @@ class SeparationService:
     ) -> SeparationOutcome:
         """Batch mode: a record set through the
         :class:`repro.pipeline.SeparationPipeline`."""
+        self._check_open()
         pipeline = SeparationPipeline(
             self.separator, workers=self.workers, executor=self.executor,
             postprocess=self.postprocess, score=self.score,
@@ -302,6 +325,7 @@ class SeparationService:
         per-push :class:`repro.pipeline.ChunkResult` trail is kept on
         the outcome either way.
         """
+        self._check_open()
         rec = as_record(record, **record_fields)
         # `is None` (not falsy-or): an explicit 0 must reach the engine's
         # own validation and raise, not be silently replaced.
@@ -363,6 +387,7 @@ class SeparationService:
     ) -> SeparationOutcome:
         """Streaming mode over a record set (round-robin live feeds),
         via :func:`repro.pipeline.stream_records`."""
+        self._check_open()
         batch = stream_records(
             self.separator, records,
             segment_samples=segment_samples,
@@ -385,6 +410,7 @@ class SeparationService:
         Process executors are excluded: worker processes are built per
         batch call by the pipeline itself.
         """
+        self._check_open()
         if self.workers <= 1 or self.executor != "thread":
             return None
         if self._pool is None:
@@ -392,6 +418,12 @@ class SeparationService:
         return self._pool
 
     def close(self) -> None:
+        """Shut down the shared pool and mark the service closed.
+
+        Idempotent: closing twice is a no-op.  Any later mode call (or
+        pool access) raises :class:`RuntimeError`.
+        """
+        self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

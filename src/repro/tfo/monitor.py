@@ -363,6 +363,10 @@ class MonitorUpdate:
     elapsed_s: float = 0.0
     #: True when the live sliding window overlaps a flagged dropout span.
     degraded: bool = False
+    #: Newly finalized fetal samples per wavelength, populated only when
+    #: the monitor was built with ``emit_estimates=True`` (the gateway's
+    #: streaming endpoint relays these to remote clients).
+    estimates: Optional[Dict[int, np.ndarray]] = None
 
 
 @dataclass
@@ -381,6 +385,10 @@ class SpO2MonitorResult:
     n_samples: int
     n_refits: int
     crossfade_spans: Dict[int, List[Tuple[int, int]]]
+    #: Fetal samples finalized by the closing flush, per wavelength —
+    #: populated only with ``emit_estimates=True``, so streaming clients
+    #: can stitch the complete per-wavelength estimate.
+    final_estimates: Optional[Dict[int, np.ndarray]] = None
 
     @property
     def correlation(self) -> float:
@@ -453,6 +461,7 @@ class SpO2Monitor:
         min_draws: int = 3,
         workers: int = 0,
         flag_dropouts_s: Optional[float] = 0.25,
+        emit_estimates: bool = False,
     ):
         check_positive(sampling_hz, "sampling_hz")
         check_positive(window_s, "window_s")
@@ -527,6 +536,11 @@ class SpO2Monitor:
         self._runs: Dict[int, Optional[Tuple[float, int]]] = {
             wl: None for wl in WAVELENGTHS
         }
+        #: Relay newly finalized fetal samples on every update (and the
+        #: closing flush on the result) — the payloads remote streaming
+        #: clients stitch back into the full per-wavelength estimate.
+        self.emit_estimates = bool(emit_estimates)
+        self._last_emitted: Optional[Dict[int, np.ndarray]] = None
 
     @staticmethod
     def _mean_for(
@@ -689,6 +703,7 @@ class SpO2Monitor:
         if self.n_pushed == 0:
             raise DataError("cannot finish an empty monitor: push data first")
         self._absorb(self._session.flush_all())
+        final_estimates = self._last_emitted
         if self.n_finalized != self.n_pushed:
             raise DataError(
                 f"streaming engines finalized {self.n_finalized} of "
@@ -711,6 +726,7 @@ class SpO2Monitor:
             n_samples=self.n_finalized,
             n_refits=self.n_refits,
             crossfade_spans=spans,
+            final_estimates=final_estimates,
         )
 
     def close(self) -> None:
@@ -764,6 +780,7 @@ class SpO2Monitor:
         Returns the draws whose windows this absorption completed.
         """
         emitted = set()
+        chunks_out: Dict[int, np.ndarray] = {}
         for wl in WAVELENGTHS:
             chunk = results[str(wl)].estimates.get("fetal")
             if chunk is None:
@@ -773,7 +790,9 @@ class SpO2Monitor:
                     f"'fetal' in f0_tracks"
                 )
             self._fetal[wl] = np.concatenate([self._fetal[wl], chunk])
+            chunks_out[wl] = chunk
             emitted.add(int(chunk.size))
+        self._last_emitted = chunks_out if self.emit_estimates else None
         if len(emitted) > 1:
             raise DataError(
                 f"wavelength engines fell out of lockstep (emitted "
@@ -893,6 +912,7 @@ class SpO2Monitor:
             completed=completed,
             elapsed_s=elapsed,
             degraded=degraded,
+            estimates=self._last_emitted,
         )
 
     def _trim(self) -> None:

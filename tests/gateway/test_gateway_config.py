@@ -1,0 +1,64 @@
+"""GatewayConfig: validation, JSON round-trip, did-you-mean."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway import GatewayConfig
+
+
+class TestGatewayConfig:
+    def test_defaults_valid(self):
+        config = GatewayConfig()
+        assert config.host == "127.0.0.1"
+        assert config.port == 0
+        assert config.workers >= 1
+
+    def test_json_round_trip_exact(self):
+        config = GatewayConfig(
+            host="0.0.0.0", port=8422, workers=7, queue_depth=9,
+            artifact_root="/tmp/x", artifact_ttl_s=12.5,
+            callback_retries=5, callback_backoff_s=0.25,
+            callback_backoff_factor=3.0, callback_timeout_s=2.0,
+            zoo_path="/tmp/zoo", session_idle_timeout_s=30.0,
+            reap_interval_s=0.5, max_body_bytes=1024,
+            max_updates_kept=16,
+        )
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert GatewayConfig.from_dict(wire) == config
+
+    def test_unknown_field_did_you_mean(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            GatewayConfig.from_dict({"worker": 3})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GatewayConfig().port = 80
+
+    @pytest.mark.parametrize("bad", [
+        {"host": ""},
+        {"port": -1},
+        {"port": 65536},
+        {"port": True},
+        {"workers": 0},
+        {"queue_depth": 0},
+        {"artifact_ttl_s": 0.0},
+        {"callback_retries": 0},
+        {"callback_backoff_s": -1.0},
+        {"session_idle_timeout_s": 0.0},
+        {"reap_interval_s": 0.0},
+        {"max_body_bytes": 0},
+        {"max_updates_kept": 0},
+        {"artifact_root": 3},
+        {"zoo_path": None},
+    ])
+    def test_invalid_fields_raise(self, bad):
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(**bad)
+
+    def test_replace_keeps_validation(self):
+        config = GatewayConfig()
+        assert config.replace(port=9000).port == 9000
+        with pytest.raises(ConfigurationError):
+            config.replace(workers=-2)

@@ -1,0 +1,273 @@
+"""The HTTP surface end to end: wire round-trips and the 4xx contract."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    Gateway,
+    GatewayClient,
+    GatewayConfig,
+    GatewayError,
+    record_to_wire,
+)
+from repro.pipeline.batch import SeparationRecord
+from repro.service import available_separators, separator_entry
+
+
+def make_record(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 100.0
+    a = np.sin(2 * np.pi * 1.2 * t)
+    b = 0.5 * np.sin(2 * np.pi * 2.1 * t)
+    return SeparationRecord(
+        mixed=a + b + 0.01 * rng.standard_normal(n),
+        sampling_hz=100.0,
+        f0_tracks={"a": np.full(n, 1.2), "b": np.full(n, 2.1)},
+        name=f"rec{seed}",
+        references={"a": a, "b": b},
+    )
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    callback_log = []
+    gw = Gateway(
+        GatewayConfig(port=0, workers=2, max_body_bytes=512 * 1024,
+                      reap_interval_s=0.2),
+        callback_transport=lambda url, payload, t: callback_log.append(
+            (url, payload)
+        ),
+    )
+    gw.callback_log = callback_log
+    with gw:
+        yield gw
+
+
+@pytest.fixture()
+def client(gateway):
+    with GatewayClient(gateway.url) as c:
+        yield c
+
+
+class TestServiceEndpoints:
+    def test_health(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert set(health["jobs"]) == {
+            "queued", "running", "done", "error", "cancelled", "expired"
+        }
+
+    def test_methods_lists_registry(self, client):
+        assert client.methods() == available_separators()
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.request("GET", "/nope")
+        assert err.value.status == 404
+
+
+class TestJobsOverHTTP:
+    def test_submit_and_fetch_result(self, client):
+        record = make_record(seed=1)
+        job = client.submit_job({
+            "method": "spectral-masking",
+            "mode": "separate",
+            "records": [record_to_wire(record)],
+            "callback_url": "bench://cb",
+        })
+        assert job["state"] in ("queued", "running")
+        done = client.wait_job(job["job_id"])
+        assert done["state"] == "done"
+        result = client.job_result(job["job_id"])
+        assert set(result["records"][0]["scores"]) == {"a", "b"}
+        assert len(result["records"][0]["estimates"]["a"]) == 200
+        slim = client.job_result(job["job_id"], estimates=False)
+        assert "estimates" not in slim["records"][0]
+
+    def test_every_spec_round_trips_byte_equal(self, client):
+        """Satellite: each registered spec comes back byte-equal through
+        the HTTP submit → artefact store → status path."""
+        record_wire = record_to_wire(make_record(seed=2))
+        for name in available_separators():
+            spec = separator_entry(name).default_spec()
+            job = client.submit_job({
+                "spec": spec.to_dict(),
+                "mode": "separate",
+                "records": [record_wire],
+            })
+            stored = client.job(job["job_id"])
+            assert json.dumps(stored["spec"], sort_keys=True) == \
+                json.dumps(spec.to_dict(), sort_keys=True), name
+            assert stored["method"] == spec.method
+
+    def test_unknown_method_is_400_did_you_mean(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.submit_job({
+                "method": "spectal-masking",
+                "records": [record_to_wire(make_record())],
+            })
+        assert err.value.status == 400
+        assert "did you mean" in err.value.payload["message"]
+        assert err.value.payload["repro_error"] is True
+
+    def test_unknown_spec_field_is_400_did_you_mean(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.submit_job({
+                "spec": {"method": "vmd", "alpha_": 900.0},
+                "records": [record_to_wire(make_record())],
+            })
+        assert err.value.status == 400
+        assert "did you mean" in err.value.payload["message"]
+
+    @pytest.mark.parametrize("body", [
+        {"method": "vmd"},                       # no records
+        {"method": "vmd", "records": []},        # empty records
+        {"method": "vmd", "records": [{"mixed": "zz"}]},
+        {"method": "vmd", "mode": "nope", "records": [{}]},
+        {"records": [{}]},                       # neither method nor spec
+        {"method": "vmd", "spec": {"method": "vmd"}, "records": [{}]},
+    ])
+    def test_malformed_submissions_are_4xx_never_5xx(self, client, body):
+        with pytest.raises(GatewayError) as err:
+            client.submit_job(body)
+        assert 400 <= err.value.status < 500
+        assert err.value.payload["error"]
+
+    def test_non_json_body_400(self, client):
+        conn = client._connection()
+        conn.request("POST", "/jobs", body=b"not json {",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400
+        assert "not valid JSON" in payload["message"]
+
+    def test_oversized_body_413(self, gateway):
+        with GatewayClient(gateway.url) as big:
+            huge = record_to_wire(make_record(n=300_000))
+            with pytest.raises(GatewayError) as err:
+                big.submit_job({"method": "vmd", "records": [huge]})
+            assert err.value.status == 413
+            assert "exceeds" in err.value.payload["message"]
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.job("job-999999")
+        assert err.value.status == 404
+
+    def test_result_of_unfinished_job_409(self, client):
+        record = make_record(seed=3)
+        job = client.submit_job({
+            "method": "spectral-masking",
+            "records": [record_to_wire(record)],
+        })
+        client.wait_job(job["job_id"])
+        with pytest.raises(GatewayError) as err:
+            client.cancel_job(job["job_id"])  # already terminal
+        assert err.value.status == 409
+
+
+class TestSessionsOverHTTP:
+    def session_request(self):
+        return {
+            "method": "spectral-masking",
+            "sampling_hz": 100.0,
+            "segment_samples": 1000,
+            "overlap_samples": 250,
+        }
+
+    def test_create_push_poll_finish_delete(self, client):
+        rng = np.random.default_rng(0)
+        sid = client.create_session(self.session_request())["session_id"]
+        assert sid in client.sessions()
+        mixed = rng.standard_normal(3000)
+        tracks = {"fetal": np.full(3000, 1.2),
+                  "maternal": np.full(3000, 2.1)}
+        # The SpO2 monitor needs both wavelength channels; feed the
+        # synthetic record as both PPG channels with a zero DC.
+        for start in range(0, 3000, 500):
+            stop = start + 500
+            update = client.push(
+                sid,
+                {740: mixed[start:stop], 850: mixed[start:stop]},
+                {740: np.zeros(500), 850: np.zeros(500)},
+                {k: v[start:stop] for k, v in tracks.items()},
+            )
+            assert update["n_pushed"] == stop
+        polled = client.updates(sid, since=0, timeout_s=2.0)
+        assert len(polled["updates"]) == 6
+        final = client.finish_session(sid)
+        assert final["n_samples"] == 3000
+        assert client.delete_session(sid)["deleted"] is True
+        with pytest.raises(GatewayError) as err:
+            client.session(sid)
+        assert err.value.status == 404
+
+    def test_bad_session_request_400(self, client):
+        request = self.session_request()
+        request["segment_sample"] = request.pop("segment_samples")
+        with pytest.raises(GatewayError) as err:
+            client.create_session(request)
+        assert err.value.status == 400
+        assert "unknown key" in err.value.payload["message"]
+
+    def test_push_after_finish_409(self, client):
+        sid = client.create_session(self.session_request())["session_id"]
+        client.push(
+            sid,
+            {740: np.ones(1500) * np.sin(np.arange(1500)),
+             850: np.ones(1500) * np.sin(np.arange(1500))},
+            {740: np.zeros(1500), 850: np.zeros(1500)},
+            {"fetal": np.full(1500, 1.2), "maternal": np.full(1500, 2.1)},
+        )
+        client.finish_session(sid)
+        with pytest.raises(GatewayError) as err:
+            client.push(
+                sid,
+                {740: np.ones(10), 850: np.ones(10)},
+                {740: np.zeros(10), 850: np.zeros(10)},
+                {"fetal": np.full(10, 1.2), "maternal": np.full(10, 2.1)},
+            )
+        assert err.value.status == 409
+        client.delete_session(sid)
+
+    def test_long_poll_blocks_then_wakes(self, gateway, client):
+        sid = client.create_session(self.session_request())["session_id"]
+        result = {}
+
+        def poll():
+            with GatewayClient(gateway.url) as poller:
+                result["out"] = poller.updates(sid, since=0, timeout_s=10.0)
+
+        waiter = threading.Thread(target=poll, daemon=True)
+        waiter.start()
+        client.push(
+            sid,
+            {740: np.sin(np.arange(600)), 850: np.sin(np.arange(600))},
+            {740: np.zeros(600), 850: np.zeros(600)},
+            {"fetal": np.full(600, 1.2), "maternal": np.full(600, 2.1)},
+        )
+        waiter.join(timeout=15.0)
+        assert not waiter.is_alive()
+        assert len(result["out"]["updates"]) >= 1
+        client.delete_session(sid)
+
+
+class TestCallbacksOverHTTP:
+    def test_callback_delivered_with_terminal_state(self, gateway, client):
+        job = client.submit_job({
+            "method": "spectral-masking",
+            "records": [record_to_wire(make_record(seed=7))],
+            "callback_url": "bench://done",
+        })
+        client.wait_job(job["job_id"])
+        assert gateway.jobs.callbacks.drain(timeout_s=10.0)
+        delivered = [
+            payload for url, payload in gateway.callback_log
+            if payload["job_id"] == job["job_id"]
+        ]
+        assert len(delivered) == 1
+        assert delivered[0]["state"] == "done"

@@ -1,0 +1,85 @@
+"""ArtifactStore: atomic job records, npz estimates, deletion."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.gateway import ArtifactStore, make_store
+
+
+class TestJobRecords:
+    def test_write_read_round_trip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        payload = {"job_id": "job-000001", "state": "done", "n": 3}
+        store.write_job("job-000001", payload)
+        assert store.read_job("job-000001") == payload
+        assert store.job_ids() == ["job-000001"]
+
+    def test_overwrite_is_atomic_no_temp_left(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        for i in range(5):
+            store.write_job("job-000001", {"state": f"s{i}"})
+        assert store.read_job("job-000001") == {"state": "s4"}
+        leftovers = [
+            name for name in os.listdir(store.job_dir("job-000001"))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_missing_job_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(SerializationError, match="no job record"):
+            store.read_job("job-000009")
+
+    def test_corrupt_job_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.write_job("job-000001", {"ok": True})
+        with open(store._job_file("job-000001"), "w") as handle:
+            handle.write("{truncated")
+        with pytest.raises(SerializationError, match="not a readable"):
+            store.read_job("job-000001")
+
+    def test_non_object_payload_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        os.makedirs(store.job_dir("job-000001"), exist_ok=True)
+        with open(store._job_file("job-000001"), "w") as handle:
+            json.dump([1, 2], handle)
+        with pytest.raises(SerializationError, match="JSON object"):
+            store.read_job("job-000001")
+
+
+class TestEstimates:
+    def test_round_trip_bitwise(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        rng = np.random.default_rng(1)
+        estimates = {"a": rng.standard_normal(64),
+                     "b": rng.standard_normal(64)}
+        store.write_estimates("job-000001", 0, estimates)
+        back = store.read_estimates("job-000001", 0)
+        assert set(back) == {"a", "b"}
+        for source in estimates:
+            assert np.array_equal(back[source], estimates[source])
+
+
+class TestDeletion:
+    def test_delete_removes_everything(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.write_job("job-000001", {"state": "done"})
+        store.write_estimates("job-000001", 0, {"a": np.ones(4)})
+        assert store.delete("job-000001") is True
+        assert store.job_ids() == []
+        assert store.delete("job-000001") is False  # idempotent
+
+
+def test_make_store_private_tmp_when_empty():
+    store = make_store("")
+    assert os.path.isdir(store.root)
+    assert "repro-gateway-" in store.root
+
+
+def test_make_store_uses_given_root(tmp_path):
+    root = str(tmp_path / "artefacts")
+    assert make_store(root).root == os.path.abspath(root)

@@ -320,3 +320,89 @@ def test_shared_cache_identity(tmp_path):
 
     clear_shared_fit_caches()
     assert shared_fit_cache() is not in_memory
+
+
+# --------------------------------------------------------------------- #
+# Multi-worker concurrency (the gateway worker tier shares one cache)
+# --------------------------------------------------------------------- #
+class TestConcurrentWorkers:
+    N_THREADS = 8
+    N_ROUNDS = 12
+
+    def _hammer(self, cache, errors, counts, thread_id):
+        try:
+            for i in range(self.N_ROUNDS):
+                config = make_config(iterations=20 + thread_id * 100 + i)
+                cache.store(make_checkpoint(config=config,
+                                            fill=float(thread_id)))
+                counts["stores"] += 1
+                cache.lookup(GEOMETRY, config)
+                counts["lookups"] += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def _run_tier(self, cache):
+        errors = []
+        counts = [{"stores": 0, "lookups": 0}
+                  for _ in range(self.N_THREADS)]
+        threads = [
+            threading.Thread(target=self._hammer,
+                             args=(cache, errors, counts[t], t))
+            for t in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        return counts
+
+    def test_counters_consistent_under_contention(self):
+        cache = FitCache(capacity=2 * self.N_THREADS * self.N_ROUNDS)
+        counts = self._run_tier(cache)
+        stats = cache.stats()
+        n_lookups = sum(c["lookups"] for c in counts)
+        n_stores = sum(c["stores"] for c in counts)
+        assert stats["stores"] == n_stores
+        assert stats["hits"] + stats["near_hits"] + stats["misses"] == \
+            n_lookups
+        # Every thread looked up the key it just stored: with no
+        # eviction pressure, nothing can be a miss (exact or near hit
+        # depending on interleaving, but always *something*).
+        assert stats["misses"] == 0
+        assert stats["size"] == n_stores  # all keys distinct
+
+    def test_zoo_manifest_survives_concurrent_write_through(self, tmp_path):
+        cache = shared_fit_cache(str(tmp_path),
+                                 capacity=2 * self.N_THREADS * self.N_ROUNDS)
+        self._run_tier(cache)
+        zoo = PriorZoo(str(tmp_path))
+        assert zoo.verify() == []
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["entries"]) == self.N_THREADS * self.N_ROUNDS
+        # A fresh cache (fresh process, in effect) can preload all of it.
+        reloaded = FitCache(
+            capacity=2 * self.N_THREADS * self.N_ROUNDS,
+            zoo=PriorZoo(str(tmp_path)),
+        )
+        assert len(reloaded) == self.N_THREADS * self.N_ROUNDS
+
+    def test_shared_cache_single_instance_under_race(self, tmp_path):
+        barrier = threading.Barrier(self.N_THREADS)
+        seen = []
+        lock = threading.Lock()
+
+        def grab():
+            barrier.wait(timeout=30.0)
+            cache = shared_fit_cache(str(tmp_path))
+            with lock:
+                seen.append(cache)
+
+        threads = [threading.Thread(target=grab)
+                   for _ in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(seen) == self.N_THREADS
+        assert all(cache is seen[0] for cache in seen)

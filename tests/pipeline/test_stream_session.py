@@ -194,3 +194,48 @@ class TestStreamRecords:
         records[1].name = records[0].name
         with pytest.raises(ConfigurationError):
             stream_records(masker, records, 1024, 256, 100)
+
+class TestUseAfterClose:
+    """Satellite hardening: a closed session refuses work, loudly."""
+
+    def test_push_and_flush_refuse_after_close(self, masker):
+        mixed, tracks = _subject_data(0, n=600)
+        session = StreamSession(
+            masker, FS, segment_samples=1024, overlap_samples=256,
+        )
+        session.add_subject("s0")
+        session.push("s0", mixed, tracks)
+        session.close()
+        assert session.closed is True
+        for call in (
+            lambda: session.push("s0", mixed, tracks),
+            lambda: session.push_many({"s0": (mixed, tracks)}),
+            lambda: session.flush("s0"),
+            lambda: session.flush_all(),
+            lambda: session.add_subject("s1"),
+        ):
+            with pytest.raises(RuntimeError, match="closed"):
+                call()
+
+    def test_close_is_idempotent_and_pool_stays_down(self, masker):
+        session = StreamSession(
+            masker, FS, segment_samples=1024, overlap_samples=256,
+            workers=2,
+        )
+        session.add_subject("s0")
+        mixed, tracks = _subject_data(1, n=600)
+        session.push("s0", mixed, tracks)
+        session.close()
+        session.close()  # no-op
+        assert session._pool is None
+        # _ensure_pool must NOT silently resurrect a pool post-close.
+        with pytest.raises(RuntimeError, match="closed"):
+            session._ensure_pool()
+
+    def test_context_manager_exit_closes(self, masker):
+        with StreamSession(
+            masker, FS, segment_samples=1024, overlap_samples=256,
+        ) as session:
+            session.add_subject("s0")
+        with pytest.raises(RuntimeError, match="create a new session"):
+            session.push("s0", *(_subject_data(2, n=300)))

@@ -279,3 +279,38 @@ class TestOutcomeAndInputs:
             service.stream(records[0], segment_samples=0)
         with pytest.raises(ConfigurationError):
             service.stream(records[0], chunk_samples=0)
+
+
+class TestUseAfterClose:
+    """Satellite hardening: a closed service refuses work, loudly."""
+
+    def test_every_mode_refuses_after_close(self, records):
+        service = SeparationService(SPEC)
+        service.separate(records[0])  # warm and healthy before close
+        service.close()
+        assert service.closed is True
+        for call in (
+            lambda: service.separate(records[0]),
+            lambda: service.separate_batch(records),
+            lambda: service.stream(records[0], segment_samples=1024,
+                                   overlap_samples=256),
+            lambda: service.stream_batch(records, segment_samples=1024,
+                                         overlap_samples=256,
+                                         chunk_samples=256),
+        ):
+            with pytest.raises(RuntimeError, match="closed"):
+                call()
+
+    def test_close_is_idempotent(self, records):
+        service = SeparationService(SPEC, workers=2)
+        service.separate_batch(records)
+        service.close()
+        service.close()  # no-op, no error
+        assert service.closed is True
+        assert service._pool is None
+
+    def test_context_manager_exit_closes(self, records):
+        with SeparationService(SPEC) as service:
+            assert service.closed is False
+        with pytest.raises(RuntimeError, match="create a new service"):
+            service.separate(records[0])
