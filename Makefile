@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart gateway-smoke scoreboard-smoke bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart bench-sharding gateway-smoke scoreboard-smoke bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
@@ -19,6 +19,9 @@ help:
 	@echo "                       zero-severity==clean asserted)"
 	@echo "make bench-warmstart - prior-zoo warm-start benchmark (asserts >= 1.5x"
 	@echo "                       fewer iterations at equal quality)"
+	@echo "make bench-sharding  - sharded process fan-out benchmark (asserts >= 2x"
+	@echo "                       vs the per-record loop, 1e-8 parity, zero"
+	@echo "                       per-record separator pickling)"
 	@echo "make gateway-smoke   - HTTP gateway benchmark, smoke preset (job"
 	@echo "                       lifecycle + concurrent monitor feeds, bitwise-checked)"
 	@echo "make scoreboard-smoke- robustness scoreboard artefact, smoke preset"
@@ -51,6 +54,9 @@ bench-scenarios:
 bench-warmstart:
 	$(PYTHON) benchmarks/bench_warmstart.py
 
+bench-sharding:
+	$(PYTHON) benchmarks/bench_sharding.py
+
 gateway-smoke:
 	$(PYTHON) benchmarks/bench_gateway.py --smoke
 
@@ -74,8 +80,10 @@ smoke:
 # variants also run inside smoke.sh, as do bench_figure6_spo2 --smoke
 # (the batched in-vivo cohort gate) and bench_scenarios --smoke (the
 # degradation-grid gate).  scoreboard-smoke regenerates the robustness
-# artefact over the full separator line-up.
-ci: bench-inpainting bench-warmstart gateway-smoke scoreboard-smoke
+# artefact over the full separator line-up, and bench-sharding gates
+# the process fan-out path at full scale (>= 2x vs the per-record loop
+# with 1e-8 parity and zero per-record separator pickling).
+ci: bench-inpainting bench-warmstart bench-sharding gateway-smoke scoreboard-smoke
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh
 	$(PYTHON) scripts/check_docs.py

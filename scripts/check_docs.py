@@ -77,6 +77,11 @@ REQUIRED_DOC_NAMES = [
     ("repro.gateway", "JOB_STATES"),
     ("repro.gateway", "CallbackClient"),
     ("repro.gateway", "MonitorSessionManager"),
+    ("repro.pipeline", "ShardedExecutor"),
+    ("repro.pipeline", "ShmBlock"),
+    ("repro.pipeline", "plan_shards"),
+    ("repro.pipeline", "shard_key"),
+    ("repro.errors", "WorkerPoolError"),
 ]
 
 

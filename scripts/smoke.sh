@@ -37,4 +37,7 @@ python benchmarks/bench_warmstart.py --smoke
 echo "== bench_gateway --smoke =="
 python benchmarks/bench_gateway.py --smoke
 
+echo "== bench_sharding --smoke =="
+python benchmarks/bench_sharding.py --smoke
+
 echo "smoke: OK"

@@ -70,6 +70,7 @@ from repro.pipeline import (
     ChunkResult,
     SeparationPipeline,
     SeparationRecord,
+    ShardedExecutor,
     StreamSession,
     records_from_arrays,
     stream_records,
@@ -103,7 +104,7 @@ __all__ = [
     "StreamingIstft", "StreamingStft",
     "average_mse", "average_sdr_db", "mse", "sdr_db",
     "BatchResult", "SeparationPipeline", "SeparationRecord",
-    "records_from_arrays",
+    "ShardedExecutor", "records_from_arrays",
     "ChunkResult", "StreamSession", "stream_records",
     "StreamingSeparator", "stream_record",
     "DegradationSpec", "Scenario", "ScenarioGrid", "Scoreboard",

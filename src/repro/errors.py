@@ -35,3 +35,14 @@ class GraphError(ReproError, RuntimeError):
 
 class SerializationError(ReproError, RuntimeError):
     """A model state dict could not be saved or restored."""
+
+
+class WorkerPoolError(ReproError, RuntimeError):
+    """A worker process died mid-task.
+
+    Raised by the sharded execution engine
+    (:class:`repro.pipeline.ShardedExecutor`) instead of the raw
+    :class:`concurrent.futures.process.BrokenProcessPool`, after the
+    broken pool has been discarded — the next call builds a fresh pool,
+    so a single worker death never wedges the engine.
+    """

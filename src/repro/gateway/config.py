@@ -56,6 +56,18 @@ class GatewayConfig(FrozenSpec):
         worker tier amortises deep-prior fits through one
         :func:`repro.nn.zoo.shared_fit_cache`.  Empty string disables
         the shared zoo.
+    executor:
+        Execution substrate of the worker tier's separation services:
+        ``"thread"`` (default) or ``"process"`` — the latter routes
+        batch jobs through the sharded multi-process engine
+        (:class:`repro.pipeline.ShardedExecutor`), one persistent
+        worker pool per distinct spec, with shared-memory array
+        transport.
+    service_workers:
+        Fan-out (``SeparationService(workers=...)``) of each worker
+        service.  ``0`` (default) keeps batch jobs on the serial
+        vectorized path; ``> 1`` shards batches across this many
+        workers of the configured ``executor``.
     session_idle_timeout_s:
         Streaming monitor sessions untouched for this long are reaped
         (closed and dropped) by the housekeeping sweep.
@@ -80,6 +92,8 @@ class GatewayConfig(FrozenSpec):
     callback_backoff_factor: float = 2.0
     callback_timeout_s: float = 5.0
     zoo_path: str = ""
+    executor: str = "thread"
+    service_workers: int = 0
     session_idle_timeout_s: float = 300.0
     reap_interval_s: float = 1.0
     max_body_bytes: int = 64 * 1024 * 1024
@@ -111,6 +125,18 @@ class GatewayConfig(FrozenSpec):
                     f"GatewayConfig.{name} must be a str, got "
                     f"{getattr(self, name)!r}"
                 )
+        if self.executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"GatewayConfig.executor must be 'thread' or 'process', "
+                f"got {self.executor!r}"
+            )
+        if not isinstance(self.service_workers, int) \
+                or isinstance(self.service_workers, bool) \
+                or self.service_workers < 0:
+            raise ConfigurationError(
+                f"GatewayConfig.service_workers must be an int >= 0, got "
+                f"{self.service_workers!r}"
+            )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "GatewayConfig":

@@ -324,7 +324,11 @@ class JobRegistry:
                 raise RuntimeError("JobRegistry is closed")
             service = self._services.get(key)
             if service is None:
-                service = SeparationService(spec)
+                service = SeparationService(
+                    spec,
+                    workers=self.config.service_workers,
+                    executor=self.config.executor,
+                )
                 self._services[key] = service
             return service
 

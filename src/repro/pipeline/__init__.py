@@ -8,6 +8,17 @@ Separator` interface into a batch processor: build
 per-source scores feed :mod:`repro.metrics.aggregate` and the
 figure/table runners directly.
 
+Fan-out (``workers > 1``) is sharded: :func:`plan_shards` groups the
+batch by :func:`shard_key` — sampling rate, record length, and the
+separator's STFT geometry — and each :class:`Shard` travels through
+``separate_batch`` whole, so vectorized batch overrides survive
+parallelism.  ``executor="process"`` runs shards on a
+:class:`ShardedExecutor`: a persistent worker pool with shared-memory
+array transport (:class:`ShmBlock`) and exactly one separator
+serialization per worker; a worker death raises
+:class:`repro.errors.WorkerPoolError` and the next call rebuilds the
+pool.
+
 Live feeds go through the streaming side instead:
 :class:`StreamSession` holds one stateful
 :class:`repro.streaming.StreamingSeparator` per subject, fans chunked
@@ -39,6 +50,13 @@ from repro.pipeline.batch import (
     finalize_record,
     records_from_arrays,
 )
+from repro.pipeline.shard import (
+    Shard,
+    ShardedExecutor,
+    ShmBlock,
+    plan_shards,
+    shard_key,
+)
 from repro.pipeline.stream import ChunkResult, StreamSession, stream_records
 
 __all__ = [
@@ -47,9 +65,14 @@ __all__ = [
     "RecordResult",
     "SeparationPipeline",
     "SeparationRecord",
+    "Shard",
+    "ShardedExecutor",
+    "ShmBlock",
     "StreamSession",
     "finalize_record",
+    "plan_shards",
     "records_from_arrays",
+    "shard_key",
     "stream_records",
     "StftPlan",
     "cache_friendly_chunk",

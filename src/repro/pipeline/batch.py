@@ -4,20 +4,24 @@ This module is the glue between a :class:`repro.separation.Separator`
 and a *set* of records.  A :class:`SeparationRecord` carries one mixed
 measurement with its f0 tracks (and, optionally, ground-truth reference
 sources); :class:`SeparationPipeline` fans a list of them out across a
-thread/process worker pool — or hands the whole batch to the separator's
-``separate_batch`` hook on the serial path, so vectorized batch
-implementations are used automatically — and returns a
+thread or process worker pool — or hands the whole batch to the
+separator's ``separate_batch`` hook on the serial path — and returns a
 :class:`BatchResult` whose per-source scores plug directly into
 :mod:`repro.metrics.aggregate` and the experiment runners.
 
-Worker processes need picklable separators; every separator in this
-package is a plain dataclass or holds only dataclass configuration, so
-both executors work out of the box.
+Every fan-out path is *sharded*: records are grouped by
+:func:`repro.pipeline.shard.shard_key` (sampling rate, length, STFT
+geometry) and each shard travels through ``separate_batch`` whole, so
+vectorized batch implementations (stacked DHF fits, batched masking)
+survive parallelism instead of degrading to per-record ``separate``
+calls.  The process path runs on :class:`repro.pipeline.ShardedExecutor`
+— shared-memory array transport, one separator send per worker; see
+:mod:`repro.pipeline.shard` for the protocol.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -25,6 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DataError
 from repro.metrics import average_mse, average_sdr_db, mse, sdr_db
+from repro.pipeline.shard import Shard, ShardedExecutor, plan_shards
 from repro.separation import Separator
 from repro.utils.validation import as_1d_float_array
 
@@ -275,13 +280,16 @@ class SeparationPipeline:
     workers:
         ``0`` or ``1`` → serial (the default); the batch goes through the
         separator's ``separate_batch`` hook so vectorized overrides are
-        used.  ``> 1`` → records are fanned out across an executor, each
-        worker calling ``separate``; the worker count is clamped to the
-        number of records.
+        used.  ``> 1`` → the batch is sharded by
+        :func:`repro.pipeline.shard.shard_key` and each shard goes
+        through ``separate_batch`` on a worker; the worker count is
+        clamped to the number of records.
     executor:
         ``"thread"`` (default — NumPy's FFT and ufunc kernels release the
-        GIL) or ``"process"`` (requires a picklable separator; pays fork
-        and serialization overhead but sidesteps the GIL entirely).
+        GIL) or ``"process"`` (shards run on a
+        :class:`repro.pipeline.ShardedExecutor`: shared-memory array
+        transport, separator serialized once per worker — via its JSON
+        ``spec`` when given, else pickled once at engine construction).
     postprocess:
         Optional callable applied to every estimate before scoring and
         before it is stored in the result (e.g. the band-pass filter the
@@ -294,7 +302,17 @@ class SeparationPipeline:
         used instead of building a pool per :meth:`run` call (the
         :class:`repro.service.SeparationService` facade shares one pool
         across batch and streaming calls this way).  The pipeline never
-        shuts an external pool down; ignored when ``workers <= 1``.
+        shuts an external pool down; ignored when ``workers <= 1`` and
+        on the process path (which uses shard-engine transport, not a
+        plain executor — pass ``shard_engine`` to share one there).
+    spec:
+        Optional :class:`repro.service.SeparatorSpec` describing
+        ``separator``; on the process path it lets workers rebuild the
+        separator from JSON so the object itself is never pickled.
+    shard_engine:
+        Optional externally owned :class:`repro.pipeline.ShardedExecutor`
+        for the process path (the service facade keeps one alive across
+        calls).  The pipeline never closes an external engine.
     """
 
     def __init__(
@@ -305,6 +323,8 @@ class SeparationPipeline:
         postprocess: Optional[Postprocess] = None,
         score: bool = True,
         pool: Optional[Executor] = None,
+        spec=None,
+        shard_engine: Optional[ShardedExecutor] = None,
     ):
         if not isinstance(separator, Separator):
             raise ConfigurationError(
@@ -321,12 +341,19 @@ class SeparationPipeline:
                 f"pool must be a concurrent.futures.Executor, got "
                 f"{type(pool).__name__}"
             )
+        if shard_engine is not None and not isinstance(shard_engine, ShardedExecutor):
+            raise ConfigurationError(
+                f"shard_engine must be a ShardedExecutor, got "
+                f"{type(shard_engine).__name__}"
+            )
         self.separator = separator
         self.workers = int(workers)
         self.executor = executor
         self.postprocess = postprocess or _identity_postprocess
         self.score = score
         self.pool = pool
+        self.spec = spec
+        self.shard_engine = shard_engine
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -339,7 +366,10 @@ class SeparationPipeline:
         rates = {float(r.sampling_hz) for r in records}
         if len(rates) > 1 and self.workers <= 1:
             # The separate_batch hook assumes one shared rate; split the
-            # batch by rate and preserve input order on reassembly.
+            # serial batch by rate and preserve input order on
+            # reassembly.  Fan-out paths need no split: the sampling
+            # rate is part of the shard key, so every shard already
+            # holds a single rate.
             return self._run_mixed_rates(records)
 
         estimates_list = self._separate_all(records)
@@ -372,22 +402,41 @@ class SeparationPipeline:
                 records[0].sampling_hz,
                 [r.f0_tracks for r in records],
             )
+        if self.executor == "process":
+            if self.shard_engine is not None:
+                return self.shard_engine.separate_records(records)
+            with ShardedExecutor(
+                self.separator, workers=n_workers, spec=self.spec
+            ) as engine:
+                return engine.separate_records(records)
+        return self._separate_sharded_threads(records, n_workers)
+
+    def _separate_sharded_threads(
+        self, records: List[SeparationRecord], n_workers: int
+    ) -> List[Dict[str, np.ndarray]]:
+        """Thread fan-out: one ``separate_batch`` call per shard."""
+        shards = plan_shards(self.separator, records, n_workers)
+
+        def run_shard(shard: Shard) -> List[Dict[str, np.ndarray]]:
+            sub = [records[i] for i in shard.indices]
+            return self.separator.separate_batch(
+                [r.mixed for r in sub],
+                sub[0].sampling_hz,
+                [r.f0_tracks for r in sub],
+            )
+
         if self.pool is not None:
-            futures = [
-                self.pool.submit(_separate_one, self.separator, record)
-                for record in records
-            ]
-            return [f.result() for f in futures]
-        pool_cls = (
-            ThreadPoolExecutor if self.executor == "thread"
-            else ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_separate_one, self.separator, record)
-                for record in records
-            ]
-            return [f.result() for f in futures]
+            futures = [self.pool.submit(run_shard, s) for s in shards]
+            outputs = [f.result() for f in futures]
+        else:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [pool.submit(run_shard, s) for s in shards]
+                outputs = [f.result() for f in futures]
+        results: List[Optional[Dict[str, np.ndarray]]] = [None] * len(records)
+        for shard, estimates in zip(shards, outputs):
+            for i, est in zip(shard.indices, estimates):
+                results[i] = est
+        return results
 
     def _finalize(
         self, record: SeparationRecord, estimates: Dict[str, np.ndarray]

@@ -48,6 +48,7 @@ from repro.pipeline.batch import (
     SeparationRecord,
     finalize_record,
 )
+from repro.pipeline.shard import ShardedExecutor
 from repro.pipeline.stream import ChunkResult, StreamSession, stream_records
 from repro.separation import Separator
 from repro.service.registry import SpecLike, build_separator, resolve_spec
@@ -191,9 +192,18 @@ class SeparationService:
         ``separate_batch`` hooks); ``> 1`` fans out over one pool owned
         by the service and reused across calls.
     executor:
-        ``"thread"`` (default) or ``"process"``.  Streaming always uses
-        threads; a process pool is built per batch call since worker
-        processes cannot outlive their executor cheaply.
+        ``"thread"`` (default) or ``"process"``.  With ``"process"``
+        batch calls run on a service-owned
+        :class:`repro.pipeline.ShardedExecutor` — a persistent worker
+        pool (reused across calls) moving arrays through shared memory
+        and serializing the separator once per worker; services built
+        from a registered spec ship the JSON spec, so the separator
+        object is never pickled, and DHF warm-start specs stamp each
+        worker's :func:`repro.nn.zoo.shared_fit_cache` with the zoo
+        path.  Streaming is thread-only: ``stream`` / ``stream_batch``
+        with ``executor="process"`` and ``workers > 1`` raise
+        :class:`repro.errors.ConfigurationError` rather than silently
+        degrading to serial.
     postprocess:
         Optional ``f(estimate, record) -> estimate`` applied before
         scoring in every mode (e.g. the paper's scoring-band filter).
@@ -229,6 +239,7 @@ class SeparationService:
         self.postprocess = postprocess
         self.score = bool(score)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._engine: Optional[ShardedExecutor] = None
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -298,7 +309,8 @@ class SeparationService:
         pipeline = SeparationPipeline(
             self.separator, workers=self.workers, executor=self.executor,
             postprocess=self.postprocess, score=self.score,
-            pool=self._shared_pool(),
+            pool=self._shared_pool(), spec=self.spec,
+            shard_engine=self._shard_engine(),
         )
         batch = pipeline.run(records)
         return SeparationOutcome(
@@ -324,8 +336,13 @@ class SeparationService:
         Pass explicit values for genuine bounded-latency operation; the
         per-push :class:`repro.pipeline.ChunkResult` trail is kept on
         the outcome either way.
+
+        Streaming is thread-only; on a ``workers > 1`` process service
+        this raises :class:`repro.errors.ConfigurationError` (see
+        :meth:`_check_streamable`).
         """
         self._check_open()
+        self._check_streamable()
         rec = as_record(record, **record_fields)
         # `is None` (not falsy-or): an explicit 0 must reach the engine's
         # own validation and raise, not be silently replaced.
@@ -348,7 +365,7 @@ class SeparationService:
         # serially either way.
         with StreamSession(
             self.separator, rec.sampling_hz, segment, overlap,
-            workers=self.workers if self.executor == "thread" else 0,
+            workers=self.workers,
             pool=self._shared_pool(),
         ) as session:
             session.add_subject(subject)
@@ -386,8 +403,13 @@ class SeparationService:
         chunk_samples: int,
     ) -> SeparationOutcome:
         """Streaming mode over a record set (round-robin live feeds),
-        via :func:`repro.pipeline.stream_records`."""
+        via :func:`repro.pipeline.stream_records`.
+
+        Thread-only, like :meth:`stream`: a ``workers > 1`` process
+        service raises :class:`repro.errors.ConfigurationError`.
+        """
         self._check_open()
+        self._check_streamable()
         batch = stream_records(
             self.separator, records,
             segment_samples=segment_samples,
@@ -402,13 +424,32 @@ class SeparationService:
         )
 
     # ------------------------------------------------------------------ #
-    # Shared worker pool
+    # Shared worker pool / shard engine
     # ------------------------------------------------------------------ #
+    def _check_streamable(self) -> None:
+        """Reject streaming on a fanned-out process service, loudly.
+
+        Chunked pushes are stateful and tiny — shipping them through the
+        shard substrate would serialize per push and lose the streaming
+        separator's per-subject state, and the historical behaviour
+        (silently forcing ``workers=0``) hid a config error.  Serial
+        process services (``workers <= 1``) stream fine: nothing ever
+        crosses a process boundary.
+        """
+        if self.executor == "process" and self.workers > 1:
+            raise ConfigurationError(
+                f"streaming is thread-only: "
+                f"SeparationService({self.separator.name!r}) was built "
+                f"with executor='process' and workers={self.workers}; "
+                f"use executor='thread' for stream()/stream_batch(), or "
+                f"workers<=1 for serial streaming"
+            )
+
     def _shared_pool(self) -> Optional[ThreadPoolExecutor]:
         """The service-owned thread pool (lazily created), or ``None``.
 
-        Process executors are excluded: worker processes are built per
-        batch call by the pipeline itself.
+        Process executors are excluded: their batch calls run on the
+        persistent :meth:`_shard_engine` instead.
         """
         self._check_open()
         if self.workers <= 1 or self.executor != "thread":
@@ -417,16 +458,35 @@ class SeparationService:
             self._pool = ThreadPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _shard_engine(self) -> Optional[ShardedExecutor]:
+        """The service-owned process shard engine (lazy), or ``None``.
+
+        Built once and reused across batch calls, so worker processes —
+        and the separators rebuilt inside them — persist between calls.
+        """
+        self._check_open()
+        if self.workers <= 1 or self.executor != "process":
+            return None
+        if self._engine is None:
+            self._engine = ShardedExecutor(
+                self.separator, workers=self.workers, spec=self.spec
+            )
+        return self._engine
+
     def close(self) -> None:
-        """Shut down the shared pool and mark the service closed.
+        """Shut down the shared pool / shard engine and mark the service
+        closed.
 
         Idempotent: closing twice is a no-op.  Any later mode call (or
-        pool access) raises :class:`RuntimeError`.
+        pool / engine access) raises :class:`RuntimeError`.
         """
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
 
     def __enter__(self) -> "SeparationService":
         return self

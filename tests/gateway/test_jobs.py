@@ -308,3 +308,22 @@ class TestSharedServices:
         )
         assert registry.drain(timeout_s=30.0)
         assert len(registry._services) == 2
+
+    def test_worker_services_follow_config_executor(self, tmp_path):
+        config = GatewayConfig(
+            workers=1, artifact_root=str(tmp_path / "store"),
+            executor="process", service_workers=2,
+        )
+        registry = JobRegistry(config, ArtifactStore(config.artifact_root))
+        try:
+            job = registry.submit(
+                SPEC, "separate_batch",
+                [make_record(seed=i) for i in range(4)],
+            )
+            assert registry.drain(timeout_s=60.0)
+            assert job.state == "done"
+            (service,) = registry._services.values()
+            assert service.executor == "process"
+            assert service.workers == 2
+        finally:
+            registry.close()

@@ -1,0 +1,483 @@
+"""Tests for the sharded multi-process execution engine.
+
+Covers shard planning (rate/length/geometry keys), the shared-memory
+block transport, the :class:`repro.pipeline.ShardedExecutor` lifecycle
+(worker death → structured :class:`repro.errors.WorkerPoolError`, pool
+recovery, close-hardening), preservation of the ``separate_batch`` hook
+on every fan-out path, three-way serial/thread/process equivalence for
+every registered separator, the service facade's persistent engine, and
+the one-serialization-per-worker guarantee (counting ``__reduce__``).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpectralMaskingSeparator
+from repro.errors import ConfigurationError, WorkerPoolError
+from repro.pipeline import (
+    SeparationPipeline,
+    SeparationRecord,
+    Shard,
+    ShardedExecutor,
+    ShmBlock,
+    plan_shards,
+    records_from_arrays,
+    shard_key,
+)
+from repro.separation import Separator
+from repro.service import (
+    DHFSpec,
+    SeparationService,
+    available_separators,
+    build_separator,
+    default_spec,
+)
+from repro.synth import make_mixture
+
+FS = 100.0
+
+#: Record length that makes :class:`DyingSeparator` kill its worker.
+DEATH_SAMPLES = 123
+
+
+# --------------------------------------------------------------------- #
+# Module-level toy separators (picklable by construction)
+# --------------------------------------------------------------------- #
+class RateScaleSeparator(Separator):
+    """Estimate of source k is ``mixed * sampling_hz / (k + 1)``.
+
+    Rate-dependent on purpose: a fan-out path that mixes sampling rates
+    inside one ``separate_batch`` call produces visibly wrong numbers.
+    """
+
+    name = "rate-scale"
+
+    def separate(self, mixed, sampling_hz, f0_tracks):
+        mixed = self._validate(mixed, sampling_hz, f0_tracks)
+        return {
+            name: mixed * float(sampling_hz) / (k + 1.0)
+            for k, name in enumerate(f0_tracks)
+        }
+
+
+class BatchStampSeparator(Separator):
+    """Every estimate is constant ``len(batch)`` — exposes shard sizes.
+
+    If a fan-out path degrades to per-record ``separate`` calls the
+    stamps all read 1; shards of size n stamp n.
+    """
+
+    name = "batch-stamp"
+
+    def separate(self, mixed, sampling_hz, f0_tracks):
+        mixed = self._validate(mixed, sampling_hz, f0_tracks)
+        return {name: np.full(mixed.size, 1.0) for name in f0_tracks}
+
+    def separate_batch(self, mixed_list, sampling_hz, f0_tracks_list):
+        n = float(len(mixed_list))
+        return [
+            {name: np.full(np.asarray(m).size, n) for name in tracks}
+            for m, tracks in zip(mixed_list, f0_tracks_list)
+        ]
+
+
+class DyingSeparator(Separator):
+    """Kills its own worker process on records of ``DEATH_SAMPLES``."""
+
+    name = "dying"
+
+    def separate(self, mixed, sampling_hz, f0_tracks):
+        mixed = self._validate(mixed, sampling_hz, f0_tracks)
+        if mixed.size == DEATH_SAMPLES:
+            os._exit(1)
+        return {name: np.array(mixed) for name in f0_tracks}
+
+
+class CountingMasking(SpectralMaskingSeparator):
+    """Masking separator that counts parent-side pickling events."""
+
+    reduce_calls = 0
+
+    def __reduce__(self):
+        type(self).reduce_calls += 1
+        return super().__reduce__()
+
+
+class UnpicklableSeparator(Separator):
+    """No spec and no pickle support — the engine must reject it."""
+
+    name = "unpicklable"
+
+    def __init__(self):
+        self._trap = lambda x: x  # lambdas don't pickle
+
+    def separate(self, mixed, sampling_hz, f0_tracks):
+        return {name: np.asarray(mixed, float) for name in f0_tracks}
+
+
+def _records(n, n_samples=200, rate=FS, sources=("a", "b"), seed=0):
+    rng = np.random.default_rng(seed)
+    return records_from_arrays(
+        [rng.standard_normal(n_samples) for _ in range(n)],
+        rate,
+        {name: np.full(n_samples, 1.0 + k) for k, name in enumerate(sources)},
+    )
+
+
+# --------------------------------------------------------------------- #
+# Shard planning
+# --------------------------------------------------------------------- #
+class TestShardPlanning:
+    def test_key_holds_rate_and_length(self):
+        sep = RateScaleSeparator()
+        (r1,), (r2,), (r3,) = _records(1), _records(1, rate=50.0), \
+            _records(1, n_samples=300)
+        assert shard_key(sep, r1) == (FS, 200)
+        assert shard_key(sep, r2) == (50.0, 200)
+        assert shard_key(sep, r3) == (FS, 300)
+
+    def test_key_includes_stft_geometry(self):
+        sep = SpectralMaskingSeparator()
+        (rec,) = _records(1, n_samples=400)
+        key = shard_key(sep, rec)
+        assert key[:2] == (FS, 400)
+        assert key[2:] == tuple(
+            int(v) for v in sep.stft_geometry(FS, 400)
+        )
+
+    def test_single_worker_one_shard_per_key(self):
+        sep = RateScaleSeparator()
+        records = _records(4) + _records(2, rate=50.0)
+        shards = plan_shards(sep, records, max_workers=1)
+        assert [s.indices for s in shards] == [(0, 1, 2, 3), (4, 5)]
+
+    def test_splitting_covers_every_index_once(self):
+        sep = RateScaleSeparator()
+        records = _records(7) + _records(3, rate=50.0)
+        shards = plan_shards(sep, records, max_workers=4)
+        seen = [i for s in shards for i in s.indices]
+        assert sorted(seen) == list(range(10))
+        assert all(len(s) >= 1 for s in shards)
+        # no shard mixes keys
+        for shard in shards:
+            assert len({shard_key(sep, records[i]) for i in shard.indices}) == 1
+
+    def test_homogeneous_batch_splits_across_workers(self):
+        sep = RateScaleSeparator()
+        shards = plan_shards(sep, _records(8), max_workers=4)
+        assert len(shards) == 4
+        assert sorted(len(s) for s in shards) == [2, 2, 2, 2]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(RateScaleSeparator(), _records(2), max_workers=0)
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory transport
+# --------------------------------------------------------------------- #
+class TestShmBlock:
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        arrays = [
+            rng.standard_normal(17),
+            rng.standard_normal((3, 5)),
+            np.arange(4, dtype=np.int64),
+        ]
+        block = ShmBlock.pack(arrays)
+        try:
+            other = ShmBlock.attach(block.handle())
+            out = other.arrays()
+            other.close()
+            for a, b in zip(arrays, out):
+                assert a.dtype == b.dtype
+                np.testing.assert_array_equal(a, b)
+        finally:
+            block.release()
+
+    def test_handle_is_picklable_and_small(self):
+        block = ShmBlock.pack([np.zeros(1000)])
+        try:
+            payload = pickle.dumps(block.handle())
+            assert len(payload) < 500  # metadata only, never the array
+        finally:
+            block.release()
+
+    def test_arrays_are_copies(self):
+        block = ShmBlock.pack([np.ones(8)])
+        try:
+            (out,) = block.arrays()
+            block.close()  # safe: `out` does not alias the segment
+            out += 1.0
+            np.testing.assert_array_equal(out, np.full(8, 2.0))
+        finally:
+            block.release()
+
+    def test_empty_pack_and_idempotent_release(self):
+        block = ShmBlock.pack([])
+        assert block.arrays() == []
+        block.release()
+        block.release()  # idempotent
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+class TestShardedExecutor:
+    def test_matches_serial(self):
+        records = _records(5)
+        sep = RateScaleSeparator()
+        serial = sep.separate_batch(
+            [r.mixed for r in records], FS, [r.f0_tracks for r in records]
+        )
+        with ShardedExecutor(sep, workers=2) as engine:
+            fanned = engine.separate_records(records)
+        for a, b in zip(serial, fanned):
+            for source in a:
+                np.testing.assert_allclose(a[source], b[source], atol=1e-12)
+
+    def test_empty_batch(self):
+        with ShardedExecutor(RateScaleSeparator(), workers=2) as engine:
+            assert engine.separate_records([]) == []
+
+    def test_batch_hook_survives_fanout(self):
+        # 4 same-key records over 2 workers → two shards of 2, so the
+        # batch hook must see (and stamp) groups, never single records.
+        with ShardedExecutor(BatchStampSeparator(), workers=2) as engine:
+            out = engine.separate_records(_records(4))
+        stamps = sorted(float(est["a"][0]) for est in out)
+        assert stamps == [2.0, 2.0, 2.0, 2.0]
+
+    def test_mixed_rates_sharded_per_rate(self):
+        records = _records(3, seed=1) + _records(2, rate=50.0, seed=2)
+        sep = RateScaleSeparator()
+        expected = [
+            sep.separate(r.mixed, r.sampling_hz, r.f0_tracks)
+            for r in records
+        ]
+        with ShardedExecutor(sep, workers=2) as engine:
+            out = engine.separate_records(records)
+        for a, b in zip(expected, out):
+            for source in a:
+                np.testing.assert_allclose(a[source], b[source], atol=1e-12)
+
+    def test_worker_death_is_structured_and_recoverable(self):
+        bad = _records(2, n_samples=DEATH_SAMPLES)
+        good = _records(3)
+        with ShardedExecutor(DyingSeparator(), workers=2) as engine:
+            with pytest.raises(WorkerPoolError):
+                engine.separate_records(bad)
+            # the broken pool was discarded; the next call must succeed
+            out = engine.separate_records(good)
+            assert len(out) == 3
+            for record, est in zip(good, out):
+                np.testing.assert_array_equal(est["a"], record.mixed)
+
+    def test_close_hardening(self):
+        engine = ShardedExecutor(RateScaleSeparator(), workers=2)
+        engine.separate_records(_records(2))
+        engine.close()
+        engine.close()  # idempotent
+        assert engine.closed
+        with pytest.raises(RuntimeError):
+            engine.separate_records(_records(2))
+
+    def test_unpicklable_without_spec_rejected_early(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(UnpicklableSeparator(), workers=2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(object(), workers=2)
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(RateScaleSeparator(), workers=0)
+        with pytest.raises(ConfigurationError):
+            ShardedExecutor(RateScaleSeparator(), workers=2, spec=object())
+
+    def test_separator_pickled_exactly_once_without_spec(self):
+        CountingMasking.reduce_calls = 0
+        sep = CountingMasking()
+        with ShardedExecutor(sep, workers=2) as engine:
+            assert CountingMasking.reduce_calls == 1  # at construction
+            engine.separate_records(_mixture_records(4))
+            engine.separate_records(_mixture_records(3))
+        # never again — not per record, not per shard, not per call
+        assert CountingMasking.reduce_calls == 1
+
+    def test_spec_transport_never_pickles_the_separator(self):
+        spec = default_spec("spectral-masking")
+        sep = build_separator(spec)
+
+        class Probe(type(sep)):
+            reduce_calls = 0
+
+            def __reduce__(self):
+                type(self).reduce_calls += 1
+                return super().__reduce__()
+
+        probe = Probe(**{
+            f: getattr(sep, f) for f in sep.__dataclass_fields__
+        })
+        with ShardedExecutor(probe, workers=2, spec=spec) as engine:
+            engine.separate_records(_mixture_records(3))
+        assert Probe.reduce_calls == 0
+
+
+# --------------------------------------------------------------------- #
+# Pipeline fan-out paths
+# --------------------------------------------------------------------- #
+def _mixture_records(n, duration_s=4.0, rate=None, seed=0):
+    kwargs = {} if rate is None else {"sampling_hz": rate}
+    mixture = make_mixture("msig1", duration_s=duration_s, seed=seed,
+                           **kwargs)
+    return records_from_arrays(
+        [mixture.mixed * (1.0 + 0.01 * i) for i in range(n)],
+        mixture.sampling_hz, mixture.f0_tracks,
+    )
+
+
+class TestPipelineSharding:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_batch_hook_used_on_fanout(self, executor):
+        batch = SeparationPipeline(
+            BatchStampSeparator(), workers=2, executor=executor
+        ).run(_records(4))
+        stamps = sorted(float(r.estimates["a"][0]) for r in batch.results)
+        assert stamps == [2.0, 2.0, 2.0, 2.0]
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_mixed_rates_on_fanout(self, executor):
+        records = _records(3, seed=1) + _records(2, rate=50.0, seed=2)
+        sep = RateScaleSeparator()
+        serial = SeparationPipeline(sep).run(records)
+        fanned = SeparationPipeline(
+            sep, workers=2, executor=executor
+        ).run(records)
+        for a, b in zip(serial.results, fanned.results):
+            for source in a.estimates:
+                np.testing.assert_allclose(
+                    a.estimates[source], b.estimates[source], atol=1e-12
+                )
+
+    def test_mixed_rate_shards_stamp_per_rate_group(self):
+        # 3 records at FS + 2 at 50 Hz on one worker-pair: the stamps
+        # must reflect per-rate groups (3 and 2), never one mixed
+        # mega-batch of 5 and never per-record calls of 1.
+        records = _records(3, seed=1) + _records(2, rate=50.0, seed=2)
+        batch = SeparationPipeline(
+            BatchStampSeparator(), workers=2, executor="thread"
+        ).run(records)
+        stamps = [float(r.estimates["a"][0]) for r in batch.results]
+        assert stamps == [3.0, 3.0, 3.0, 2.0, 2.0]
+
+    def test_external_shard_engine_is_reused_not_closed(self):
+        records = _records(4)
+        with ShardedExecutor(RateScaleSeparator(), workers=2) as engine:
+            pipeline = SeparationPipeline(
+                RateScaleSeparator(), workers=2, executor="process",
+                shard_engine=engine,
+            )
+            pipeline.run(records)
+            assert not engine.closed
+            pipeline.run(records)  # engine survives across runs
+        with pytest.raises(ConfigurationError):
+            SeparationPipeline(
+                RateScaleSeparator(), workers=2, shard_engine=object()
+            )
+
+
+# --------------------------------------------------------------------- #
+# Three-way equivalence: every registered separator
+# --------------------------------------------------------------------- #
+def _spec_for(name):
+    if name == "dhf":
+        return DHFSpec.from_preset("smoke", dtype="float64")
+    return default_spec(name)
+
+
+@pytest.mark.parametrize("method", available_separators())
+def test_three_way_equivalence(method):
+    """serial == thread == process within 1e-8 (float64) per method."""
+    spec = _spec_for(method)
+    separator = build_separator(spec)
+    records = _mixture_records(3, duration_s=4.0, seed=7)
+    serial = SeparationPipeline(separator).run(records)
+    threaded = SeparationPipeline(
+        separator, workers=2, executor="thread"
+    ).run(records)
+    with ShardedExecutor(separator, workers=2, spec=spec) as engine:
+        processed = SeparationPipeline(
+            separator, workers=2, executor="process", shard_engine=engine,
+        ).run(records)
+    for variant in (threaded, processed):
+        for a, b in zip(serial.results, variant.results):
+            for source in a.estimates:
+                np.testing.assert_allclose(
+                    a.estimates[source], b.estimates[source], atol=1e-8
+                )
+
+
+# --------------------------------------------------------------------- #
+# Service facade integration
+# --------------------------------------------------------------------- #
+class TestServiceSharding:
+    def test_persistent_engine_reused_across_calls(self):
+        records = _mixture_records(4)
+        with SeparationService(
+            "spectral-masking", workers=2, executor="process"
+        ) as service:
+            service.separate_batch(records)
+            engine = service._engine
+            assert isinstance(engine, ShardedExecutor)
+            service.separate_batch(records)
+            assert service._engine is engine
+        assert engine.closed
+
+    def test_process_batch_matches_serial_service(self):
+        records = _mixture_records(4)
+        with SeparationService("spectral-masking") as serial_svc:
+            serial = serial_svc.separate_batch(records)
+        with SeparationService(
+            "spectral-masking", workers=2, executor="process"
+        ) as fan_svc:
+            fanned = fan_svc.separate_batch(records)
+        for a, b in zip(serial.batch.results, fanned.batch.results):
+            for source in a.estimates:
+                np.testing.assert_allclose(
+                    a.estimates[source], b.estimates[source], atol=1e-8
+                )
+
+    def test_stream_on_process_service_raises(self):
+        (record,) = _mixture_records(1)
+        with SeparationService(
+            "spectral-masking", workers=2, executor="process"
+        ) as service:
+            with pytest.raises(ConfigurationError):
+                service.stream(record)
+            with pytest.raises(ConfigurationError):
+                service.stream_batch(
+                    [record], segment_samples=200, overlap_samples=50,
+                    chunk_samples=100,
+                )
+
+    def test_serial_process_service_still_streams(self):
+        (record,) = _mixture_records(1)
+        with SeparationService(
+            "spectral-masking", workers=0, executor="process"
+        ) as service:
+            outcome = service.stream(record)
+        assert outcome.mode == "stream"
+
+    def test_closed_service_closes_engine(self):
+        service = SeparationService(
+            "spectral-masking", workers=2, executor="process"
+        )
+        service.separate_batch(_mixture_records(2))
+        engine = service._engine
+        service.close()
+        assert engine.closed and service._engine is None
+        with pytest.raises(RuntimeError):
+            service.separate_batch(_mixture_records(2))
