@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart bench-sharding gateway-smoke scoreboard-smoke bench-all docs-check smoke ci
+.PHONY: help test conformance bench bench-streaming bench-inpainting bench-figure6 bench-scenarios bench-warmstart bench-sharding bench-substrates gateway-smoke scoreboard-smoke bench-all docs-check smoke ci
 
 help:
 	@echo "make test            - tier-1 test suite (pytest -x -q)"
@@ -22,6 +22,9 @@ help:
 	@echo "make bench-sharding  - sharded process fan-out benchmark (asserts >= 2x"
 	@echo "                       vs the per-record loop, 1e-8 parity, zero"
 	@echo "                       per-record separator pickling)"
+	@echo "make bench-substrates- cross-backend DHF fit comparison (asserts"
+	@echo "                       numpy-f32 >= 1.3x over the float64 reference"
+	@echo "                       at documented parity tolerance)"
 	@echo "make gateway-smoke   - HTTP gateway benchmark, smoke preset (job"
 	@echo "                       lifecycle + concurrent monitor feeds, bitwise-checked)"
 	@echo "make scoreboard-smoke- robustness scoreboard artefact, smoke preset"
@@ -57,6 +60,9 @@ bench-warmstart:
 bench-sharding:
 	$(PYTHON) benchmarks/bench_sharding.py
 
+bench-substrates:
+	$(PYTHON) benchmarks/bench_substrates.py
+
 gateway-smoke:
 	$(PYTHON) benchmarks/bench_gateway.py --smoke
 
@@ -83,7 +89,11 @@ smoke:
 # artefact over the full separator line-up, and bench-sharding gates
 # the process fan-out path at full scale (>= 2x vs the per-record loop
 # with 1e-8 parity and zero per-record separator pickling).
-ci: bench-inpainting bench-warmstart bench-sharding gateway-smoke scoreboard-smoke
+# bench-substrates gates the array-backend substrate: every available
+# backend fits the same batch, parity against the float64 golden fit is
+# asserted per backend, and the numpy-f32 fast path must be >= 1.3x
+# faster than the reference on the DHF fit loop.
+ci: bench-inpainting bench-warmstart bench-sharding bench-substrates gateway-smoke scoreboard-smoke
 	$(PYTHON) -m pytest -x -q
 	bash scripts/smoke.sh
 	$(PYTHON) scripts/check_docs.py

@@ -40,4 +40,7 @@ python benchmarks/bench_gateway.py --smoke
 echo "== bench_sharding --smoke =="
 python benchmarks/bench_sharding.py --smoke
 
+echo "== bench_substrates --smoke =="
+python benchmarks/bench_substrates.py --smoke
+
 echo "smoke: OK"

@@ -1,0 +1,56 @@
+"""Pluggable array-backend substrate for the nn + DSP hot paths.
+
+The deep-prior fitting engine, the fused Adam step and the batch STFT
+transforms route their heavy array ops through an
+:class:`ArrayBackend`.  Three implementations ship:
+
+``numpy``
+    The reference (default).  Byte-identical to the pre-backend code —
+    every golden fixture and 1e-8 equivalence suite runs on it.
+``numpy-f32``
+    Float32, contiguity-forced fast path; no new dependency.  Gated
+    against the reference by documented per-path tolerances.
+``torch``
+    Optional (CUDA if visible, else CPU) behind a graceful
+    :data:`TORCH_AVAILABLE` degradation import — absent torch narrows
+    :func:`available_backends`, it never breaks an import.
+
+See docs/architecture.md ("Backend substrate") for the selection
+precedence, the parity model and the degradation behaviour.
+"""
+
+from repro.backend.base import ArrayBackend
+from repro.backend.numpy_backend import NumpyBackend, NumpyF32Backend
+from repro.backend.registry import (
+    BACKEND_ENV_VAR,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    backend_info,
+    get_backend,
+    known_backends,
+    process_backend_name,
+    set_process_backend,
+    use_backend,
+    validate_backend_name,
+)
+from repro.backend.torch_backend import TORCH_AVAILABLE, TorchBackend
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "NumpyF32Backend",
+    "TorchBackend",
+    "TORCH_AVAILABLE",
+    "BACKEND_ENV_VAR",
+    "active_backend",
+    "active_backend_name",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "known_backends",
+    "process_backend_name",
+    "set_process_backend",
+    "use_backend",
+    "validate_backend_name",
+]

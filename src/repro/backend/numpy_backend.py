@@ -1,0 +1,45 @@
+"""The numpy reference backend and its float32 SIMD-friendly fast path.
+
+:class:`NumpyBackend` is the default and the conformance anchor: every
+op is the exact call the hot paths made before the backend seam existed,
+and every policy hook is an identity, so running under it is
+byte-identical to the pre-backend code.
+
+:class:`NumpyF32Backend` shares the ops (numpy's float32 kernels are the
+acceleration — half the memory traffic and twice the SIMD lanes per
+instruction) and changes only the dtype policy: ``resolve_dtype`` forces
+``float32`` and ``prepare`` forces C-contiguous single-precision
+operands at data-preparation boundaries.  numpy 2.x FFTs natively run
+single precision for single-precision input, so no FFT override is
+needed.  The parity bounds this buys are documented in
+docs/architecture.md ("Backend substrate").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: float64-capable, bitwise-identical to history."""
+
+    name = "numpy"
+    device = "cpu"
+    dtype_policy = "preserve"
+
+
+class NumpyF32Backend(ArrayBackend):
+    """Float32 fast path — no new dependency, ~2x less memory traffic."""
+
+    name = "numpy-f32"
+    device = "cpu"
+    dtype_policy = "float32"
+
+    @property
+    def fft_dtype(self):
+        return np.float32
+
+    def prepare(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array, dtype=np.float32)

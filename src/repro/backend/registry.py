@@ -1,0 +1,177 @@
+"""Backend registry, selection precedence and scoped activation.
+
+Selection precedence, strongest first:
+
+1. an **explicit backend** handed to an API (``DHFConfig.backend``,
+   ``inpaint_spectrogram(..., backend=...)``, ``GatewayConfig.backend``)
+   — internally these all activate a scoped :func:`use_backend`;
+2. the innermost active :func:`use_backend` context on this thread;
+3. the **process default** set by :func:`set_process_backend` (the
+   sharded worker initialiser and the gateway startup use this);
+4. the ``REPRO_BACKEND`` environment variable;
+5. the ``"numpy"`` reference backend.
+
+Unknown names raise :class:`repro.errors.ConfigurationError` with a
+did-you-mean suggestion; known-but-unavailable names (``"torch"``
+without torch installed) raise one naming the missing dependency, so a
+deployment typo and a missing wheel produce different actionable errors.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple, Union
+
+from repro.backend.base import ArrayBackend
+from repro.backend.numpy_backend import NumpyBackend, NumpyF32Backend
+from repro.backend.torch_backend import TORCH_AVAILABLE, TorchBackend
+from repro.errors import ConfigurationError
+from repro.utils.naming import unknown_name_error
+
+#: Environment variable consulted when no scoped or process-level
+#: backend is active.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "numpy-f32": NumpyF32Backend,
+    "torch": TorchBackend,
+}
+
+_instances: Dict[str, ArrayBackend] = {}
+_instances_lock = threading.Lock()
+_local = threading.local()
+_process_default: Optional[str] = None
+
+
+def known_backends() -> Tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    return tuple(sorted(_FACTORIES))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The backend names usable in this process.
+
+    ``"torch"`` appears only when the optional torch import succeeded —
+    the graceful-degradation contract: missing torch narrows the menu,
+    it never breaks an import.
+    """
+    return tuple(
+        name for name in sorted(_FACTORIES)
+        if name != "torch" or TORCH_AVAILABLE
+    )
+
+
+def get_backend(
+    name: Union[str, ArrayBackend, None] = None,
+) -> ArrayBackend:
+    """Resolve a backend name to its (process-cached) instance.
+
+    ``None`` resolves the ambient backend per the module's precedence
+    rules; an :class:`ArrayBackend` instance passes through unchanged.
+    """
+    if name is None:
+        return active_backend()
+    if isinstance(name, ArrayBackend):
+        return name
+    if name not in _FACTORIES:
+        raise unknown_name_error("backend", name, known_backends())
+    if name == "torch" and not TORCH_AVAILABLE:
+        raise ConfigurationError(
+            "backend 'torch' is not available: torch is not installed in "
+            "this environment (install torch, or pick one of "
+            f"{list(available_backends())})"
+        )
+    instance = _instances.get(name)
+    if instance is None:
+        with _instances_lock:
+            instance = _instances.setdefault(name, _FACTORIES[name]())
+    return instance
+
+
+def validate_backend_name(name: str, kind: str = "backend") -> None:
+    """Raise unless ``name`` is a known, available backend name.
+
+    The config/spec validators share this so ``DHFSpec``,
+    ``DHFConfig`` and ``GatewayConfig`` reject bad names identically —
+    at construction time, with the same did-you-mean message a runtime
+    lookup would produce.
+    """
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"{kind} must be a backend name string, got {name!r}"
+        )
+    if name not in _FACTORIES:
+        raise unknown_name_error(kind, name, known_backends())
+    if name == "torch" and not TORCH_AVAILABLE:
+        raise ConfigurationError(
+            f"{kind} 'torch' is not available: torch is not installed in "
+            "this environment (install torch, or pick one of "
+            f"{list(available_backends())})"
+        )
+
+
+def active_backend() -> ArrayBackend:
+    """The backend the current thread's hot paths run on right now."""
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    if _process_default is not None:
+        return get_backend(_process_default)
+    env = os.environ.get(BACKEND_ENV_VAR)
+    if env:
+        return get_backend(env)
+    return get_backend("numpy")
+
+
+def active_backend_name() -> str:
+    """Name of :func:`active_backend` (observability surfaces use this)."""
+    return active_backend().name
+
+
+def backend_info() -> Dict[str, str]:
+    """JSON-able ``{name, device, dtype_policy}`` of the active backend."""
+    return active_backend().info()
+
+
+def set_process_backend(name: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the process-default backend.
+
+    Meant for process entry points — the sharded worker initialiser and
+    the gateway startup — not for scoped switches; use
+    :func:`use_backend` for those.  Validates eagerly so a worker with a
+    bad deployment config fails at pool construction, not mid-job.
+    """
+    global _process_default
+    if name is not None:
+        validate_backend_name(name)
+    _process_default = name
+
+
+def process_backend_name() -> Optional[str]:
+    """The installed process-default backend name, if any."""
+    return _process_default
+
+
+@contextmanager
+def use_backend(name: Union[str, ArrayBackend, None]):
+    """Scoped backend activation for the current thread.
+
+    ``None`` is a no-op pass-through, so call sites can write
+    ``with use_backend(config.backend):`` without special-casing the
+    unset default.  Contexts nest; the innermost wins.
+    """
+    if name is None:
+        yield active_backend()
+        return
+    backend = get_backend(name)
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(backend)
+    try:
+        yield backend
+    finally:
+        stack.pop()

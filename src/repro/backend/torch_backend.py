@@ -1,0 +1,97 @@
+"""Optional torch backend behind a graceful-degradation import.
+
+Follows the ``TORCH_AVAILABLE`` pattern: the module always imports, and
+:data:`TORCH_AVAILABLE` records whether torch did.  When torch is
+missing, requesting the ``"torch"`` backend raises
+:class:`repro.errors.ConfigurationError` naming the degradation (the
+registry handles that); nothing else in the package notices.
+
+When torch is present the backend runs the heavy contractions and FFTs
+through torch — on CUDA when a device is visible, else on CPU threads.
+Operands cross the boundary per op (``to_device``/``from_device``), so
+torch results are *not* bitwise-identical to the numpy reference; they
+are gated by the same documented parity tolerances as the float32 fast
+path.  The fused Adam step and the scatter-adds stay on the inherited
+numpy implementations: they are elementwise-order-sensitive (Adam) or
+index-bound (scatter) and gain nothing from the round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    TORCH_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common case in this image
+    torch = None
+    TORCH_AVAILABLE = False
+
+
+class TorchBackend(ArrayBackend):
+    """Torch-accelerated contractions/FFTs (CUDA if visible, else CPU)."""
+
+    name = "torch"
+    dtype_policy = "float32"
+
+    def __init__(self):
+        if not TORCH_AVAILABLE:  # pragma: no cover - registry guards this
+            raise RuntimeError(
+                "TorchBackend constructed without torch installed"
+            )
+        self.device = "cuda" if torch.cuda.is_available() else "cpu"
+        self._device = torch.device(self.device)
+
+    @property
+    def fft_dtype(self):
+        return np.float32
+
+    def prepare(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(array, dtype=np.float32)
+
+    # ------------------------------------------------------------------ #
+    # Device transport
+    # ------------------------------------------------------------------ #
+    def to_device(self, array):
+        if isinstance(array, torch.Tensor):
+            return array.to(self._device)
+        return torch.from_numpy(np.ascontiguousarray(array)).to(self._device)
+
+    def from_device(self, array) -> np.ndarray:
+        if isinstance(array, torch.Tensor):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+    # ------------------------------------------------------------------ #
+    # Contractions
+    # ------------------------------------------------------------------ #
+    def einsum(self, subscripts: str, *operands):
+        tensors = [self.to_device(op) for op in operands]
+        return self.from_device(torch.einsum(subscripts, *tensors))
+
+    def matmul(self, a, b, out: Optional[np.ndarray] = None):
+        result = self.from_device(
+            torch.matmul(self.to_device(a), self.to_device(b))
+        )
+        if out is not None:
+            np.copyto(out, result.astype(out.dtype, copy=False))
+            return out
+        return result
+
+    # ------------------------------------------------------------------ #
+    # FFT
+    # ------------------------------------------------------------------ #
+    def rfft(self, x, n: Optional[int] = None, axis: int = -1):
+        return self.from_device(
+            torch.fft.rfft(self.to_device(x), n=n, dim=axis)
+        )
+
+    def irfft(self, x, n: Optional[int] = None, axis: int = -1):
+        return self.from_device(
+            torch.fft.irfft(self.to_device(x), n=n, dim=axis)
+        )

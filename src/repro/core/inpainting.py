@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend import use_backend
 from repro.errors import ConfigurationError, DataError, ShapeError
 from repro.nn.batchfit import BatchedSpAcLUNet, EarlyStopConfig, fit_batched
 from repro.nn.loss import masked_mse_loss
@@ -192,13 +193,17 @@ def _validated_reference(reference, magnitude) -> np.ndarray:
     return reference
 
 
-def _normalize(magnitude: np.ndarray, config: InpaintingConfig):
-    """Compress and scale one magnitude map into network space."""
+def _normalize(magnitude: np.ndarray, config: InpaintingConfig, dtype=None):
+    """Compress and scale one magnitude map into network space.
+
+    ``dtype`` is the backend-resolved compute dtype; ``None`` falls back
+    to ``config.dtype`` (the reference behaviour).
+    """
     compressed = magnitude ** config.compression
     scale = float(compressed.max())
     if scale <= 0:
         raise DataError("magnitude spectrogram is identically zero")
-    return (compressed / scale).astype(config.dtype), scale
+    return (compressed / scale).astype(dtype or config.dtype), scale
 
 
 def _restore(output: np.ndarray, scale: float,
@@ -216,6 +221,7 @@ def inpaint_spectrogram(
     reference: Optional[np.ndarray] = None,
     cache: Optional[FitCache] = None,
     geometry: Optional[PriorGeometry] = None,
+    backend=None,
 ) -> InpaintingResult:
     """Fit a deep prior to the visible cells and in-paint the rest.
 
@@ -241,57 +247,67 @@ def inpaint_spectrogram(
     geometry:
         The :class:`repro.nn.zoo.PriorGeometry` identifying this fit's
         cache key; defaults to the bare spectrogram cell grid.
+    backend:
+        A :mod:`repro.backend` name/instance the fit runs on, or
+        ``None`` for the ambient backend.  The backend's dtype policy
+        resolves the fit's compute dtype (``numpy-f32`` runs a
+        float64-configured fit in single precision); the ``numpy``
+        reference leaves the fit bitwise identical to the pre-backend
+        code.
     """
     magnitude, visibility_arr = _validated_pair(magnitude, visibility)
     rng_init, rng_code = spawn_generators(as_generator(rng), 2)
-
-    n_freq, n_frames = magnitude.shape
-    normalized, scale = _normalize(magnitude, config)
-
-    from dataclasses import replace
-    dilation = _clamp_dilation(config.time_dilation, n_frames)
-    net_cfg = replace(config, time_dilation=dilation).network_config()
-    network = SpAcLUNet(net_cfg, rng=rng_init, dtype=config.dtype)
-    code = network.make_input_code(
-        n_freq, n_frames, rng=rng_code, scale=config.input_scale,
-        dtype=config.dtype,
-    )
-
-    if cache is not None:
-        if geometry is None:
-            geometry = PriorGeometry(n_freq=n_freq, n_frames=n_frames)
-        cached = cache.lookup(geometry, config)
-        if cached is not None:
-            network.load_state_dict(cached.state_copy())
-
-    target = normalized[None, None]
-    mask = visibility_arr.astype(config.dtype)[None, None]
-    optimizer = Adam(network.parameters(), lr=config.learning_rate)
-
-    losses = np.empty(config.iterations)
-    concealed_errors = (
-        np.empty(config.iterations) if reference is not None else None
-    )
     if reference is not None:
         reference = _validated_reference(reference, magnitude)
-        ref_norm = (reference ** config.compression) / scale
-        concealed = ~visibility_arr
 
-    output_data = normalized
-    for it in range(config.iterations):
-        optimizer.zero_grad()
-        prediction = network(code)
-        loss = masked_mse_loss(prediction, target, mask)
-        loss.backward()
-        optimizer.step()
-        losses[it] = float(loss.data)
-        output_data = prediction.data[0, 0]
-        if concealed_errors is not None:
-            if concealed.any():
-                diff = output_data[concealed] - ref_norm[concealed]
-                concealed_errors[it] = float(np.mean(diff ** 2))
-            else:
-                concealed_errors[it] = 0.0
+    with use_backend(backend) as be:
+        dtype = be.resolve_dtype(config.dtype)
+        n_freq, n_frames = magnitude.shape
+        normalized, scale = _normalize(magnitude, config, dtype)
+
+        from dataclasses import replace
+        dilation = _clamp_dilation(config.time_dilation, n_frames)
+        net_cfg = replace(config, time_dilation=dilation).network_config()
+        network = SpAcLUNet(net_cfg, rng=rng_init, dtype=dtype)
+        code = network.make_input_code(
+            n_freq, n_frames, rng=rng_code, scale=config.input_scale,
+            dtype=dtype,
+        )
+
+        if cache is not None:
+            if geometry is None:
+                geometry = PriorGeometry(n_freq=n_freq, n_frames=n_frames)
+            cached = cache.lookup(geometry, config)
+            if cached is not None:
+                network.load_state_dict(cached.state_copy())
+
+        target = normalized[None, None]
+        mask = visibility_arr.astype(dtype)[None, None]
+        optimizer = Adam(network.parameters(), lr=config.learning_rate)
+
+        losses = np.empty(config.iterations)
+        concealed_errors = (
+            np.empty(config.iterations) if reference is not None else None
+        )
+        if reference is not None:
+            ref_norm = (reference ** config.compression) / scale
+            concealed = ~visibility_arr
+
+        output_data = normalized
+        for it in range(config.iterations):
+            optimizer.zero_grad()
+            prediction = network(code)
+            loss = masked_mse_loss(prediction, target, mask)
+            loss.backward()
+            optimizer.step()
+            losses[it] = float(loss.data)
+            output_data = prediction.data[0, 0]
+            if concealed_errors is not None:
+                if concealed.any():
+                    diff = output_data[concealed] - ref_norm[concealed]
+                    concealed_errors[it] = float(np.mean(diff ** 2))
+                else:
+                    concealed_errors[it] = 0.0
 
     if cache is not None:
         cache.store(checkpoint_from_fit(
@@ -316,6 +332,7 @@ def inpaint_spectrograms(
     early_stop: Optional[EarlyStopConfig] = None,
     cache: Optional[FitCache] = None,
     geometry: Optional[PriorGeometry] = None,
+    backend=None,
 ) -> List[InpaintingResult]:
     """Fit K deep priors in one batched pass (the hot-path batch API).
 
@@ -360,6 +377,10 @@ def inpaint_spectrograms(
     geometry:
         The :class:`repro.nn.zoo.PriorGeometry` identifying the batch's
         cache key; defaults to the bare spectrogram cell grid.
+    backend:
+        A :mod:`repro.backend` name/instance the stacked fit runs on, or
+        ``None`` for the ambient backend — see
+        :func:`inpaint_spectrogram`.
     """
     magnitudes = list(magnitudes)
     visibilities = list(visibilities)
@@ -403,54 +424,56 @@ def inpaint_spectrograms(
     dilation = _clamp_dilation(config.time_dilation, n_frames)
     net_cfg = replace(config, time_dilation=dilation).network_config()
 
-    networks: List[SpAcLUNet] = []
-    codes: List[np.ndarray] = []
-    normalized = np.empty((len(pairs), 1, n_freq, n_frames),
-                          dtype=config.dtype)
-    scales: List[float] = []
-    for k, ((mag, _), rng) in enumerate(zip(pairs, rngs)):
-        rng_init, rng_code = spawn_generators(as_generator(rng), 2)
-        net = SpAcLUNet(net_cfg, rng=rng_init, dtype=config.dtype)
-        code = net.make_input_code(
-            n_freq, n_frames, rng=rng_code, scale=config.input_scale,
-            dtype=config.dtype,
+    with use_backend(backend) as be:
+        dtype = be.resolve_dtype(config.dtype)
+        networks: List[SpAcLUNet] = []
+        codes: List[np.ndarray] = []
+        normalized = np.empty((len(pairs), 1, n_freq, n_frames),
+                              dtype=dtype)
+        scales: List[float] = []
+        for k, ((mag, _), rng) in enumerate(zip(pairs, rngs)):
+            rng_init, rng_code = spawn_generators(as_generator(rng), 2)
+            net = SpAcLUNet(net_cfg, rng=rng_init, dtype=dtype)
+            code = net.make_input_code(
+                n_freq, n_frames, rng=rng_code, scale=config.input_scale,
+                dtype=dtype,
+            )
+            networks.append(net)
+            codes.append(code.data)
+            norm, scale = _normalize(mag, config, dtype)
+            normalized[k, 0] = norm
+            scales.append(scale)
+
+        ref_stack = None
+        if references is not None:
+            ref_stack = np.empty((len(pairs), n_freq, n_frames))
+            for k, ((mag, _), ref) in enumerate(zip(pairs, references)):
+                ref = _validated_reference(ref, mag)
+                ref_stack[k] = (ref ** config.compression) / scales[k]
+
+        warm_states = None
+        if cache is not None:
+            if geometry is None:
+                geometry = PriorGeometry(n_freq=n_freq, n_frames=n_frames)
+            cached = cache.lookup(geometry, config)
+            if cached is not None:
+                warm_states = [cached.state_copy()] * len(pairs)
+
+        mask = np.stack(
+            [vis for _, vis in pairs]
+        ).astype(dtype)[:, None]
+        batched = BatchedSpAcLUNet.from_networks(networks)
+        fit = fit_batched(
+            batched,
+            code=np.concatenate(codes, axis=0),
+            target=normalized,
+            mask=mask,
+            iterations=config.iterations,
+            learning_rate=config.learning_rate,
+            early_stop=early_stop,
+            reference=ref_stack,
+            warm_start=warm_states,
         )
-        networks.append(net)
-        codes.append(code.data)
-        norm, scale = _normalize(mag, config)
-        normalized[k, 0] = norm
-        scales.append(scale)
-
-    ref_stack = None
-    if references is not None:
-        ref_stack = np.empty((len(pairs), n_freq, n_frames))
-        for k, ((mag, _), ref) in enumerate(zip(pairs, references)):
-            ref = _validated_reference(ref, mag)
-            ref_stack[k] = (ref ** config.compression) / scales[k]
-
-    warm_states = None
-    if cache is not None:
-        if geometry is None:
-            geometry = PriorGeometry(n_freq=n_freq, n_frames=n_frames)
-        cached = cache.lookup(geometry, config)
-        if cached is not None:
-            warm_states = [cached.state_copy()] * len(pairs)
-
-    mask = np.stack(
-        [vis for _, vis in pairs]
-    ).astype(config.dtype)[:, None]
-    batched = BatchedSpAcLUNet.from_networks(networks)
-    fit = fit_batched(
-        batched,
-        code=np.concatenate(codes, axis=0),
-        target=normalized,
-        mask=mask,
-        iterations=config.iterations,
-        learning_rate=config.learning_rate,
-        early_stop=early_stop,
-        reference=ref_stack,
-        warm_start=warm_states,
-    )
 
     if cache is not None:
         # One checkpoint represents the whole batch at this key: the

@@ -11,6 +11,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.errors import ConfigurationError
 from repro.nn.module import Parameter
 
@@ -76,29 +77,33 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # The active backend is captured once at construction so every
+        # step of one fit runs the same fused update implementation,
+        # even if the ambient backend changes between steps.
+        self._backend = active_backend()
 
     def step(self) -> None:
-        # The update is fused into in-place buffer arithmetic: the moment
-        # buffers are rescaled and accumulated without reallocating, and
-        # the parameter is updated in place.  Elementwise operation order
-        # is unchanged, so results are bitwise identical to the textbook
+        # The update is fused into in-place buffer arithmetic via the
+        # backend's ``adam_step_``: the moment buffers are rescaled and
+        # accumulated without reallocating, and the parameter is updated
+        # in place.  Elementwise operation order is part of the backend
+        # contract, so results are bitwise identical to the textbook
         # out-of-place formulation this replaced.
         self._step_count += 1
         t = self._step_count
         bc1 = 1.0 - self.beta1 ** t
         bc2 = 1.0 - self.beta2 ** t
+        adam_step_ = self._backend.adam_step_
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
-            m, v = self._m[i], self._v[i]
-            m *= self.beta1
-            m += (1 - self.beta1) * grad
-            v *= self.beta2
-            v += (1 - self.beta2) * grad * grad
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            adam_step_(
+                p.data, grad, self._m[i], self._v[i],
+                self.lr, self.beta1, self.beta2, bc1, bc2, self.eps,
+            )
 
 
 class RMSprop(Optimizer):

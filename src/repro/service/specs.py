@@ -306,6 +306,13 @@ class DHFSpec(SeparatorSpec):
     #: Empty string keeps the cache purely in-memory.  Only meaningful
     #: with ``warm_start=True``.
     zoo_path: str = ""
+    #: Array backend the deep-prior fits run on, as a
+    #: :func:`repro.backend.available_backends` name.  Empty string
+    #: (default) defers to the ambient backend — thread-local override,
+    #: process default, ``REPRO_BACKEND`` env var, else the
+    #: bitwise-reference ``"numpy"``.  Unknown or unavailable names
+    #: (``"torch"`` without torch installed) fail spec validation.
+    backend: str = ""
 
     def __post_init__(self):
         self._check_positive_int(
@@ -326,6 +333,14 @@ class DHFSpec(SeparatorSpec):
         if not isinstance(self.zoo_path, str):
             raise ConfigurationError(
                 f"DHFSpec.zoo_path must be a str, got {self.zoo_path!r}"
+            )
+        if self.backend:
+            from repro.backend import validate_backend_name
+
+            validate_backend_name(self.backend, "DHFSpec.backend")
+        elif not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"DHFSpec.backend must be a str, got {self.backend!r}"
             )
         # Cross-field constraints (hop vs window, phase policy, the
         # 'auto' dilation sentinel) are enforced by DHFConfig itself;
@@ -363,6 +378,7 @@ class DHFSpec(SeparatorSpec):
             early_stop_rel_tol=self.early_stop_rel_tol,
             warm_start=self.warm_start,
             zoo_path=self.zoo_path or None,
+            backend=self.backend or None,
         )
 
     @classmethod

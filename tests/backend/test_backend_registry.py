@@ -1,0 +1,179 @@
+"""Registry semantics of the pluggable array-backend substrate.
+
+Covers the selection precedence chain (explicit > ``use_backend``
+context > process default > ``REPRO_BACKEND`` env var > numpy), name
+validation with did-you-mean errors, graceful degradation when torch is
+absent, and the dtype-policy hooks the hot paths consume.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    TORCH_AVAILABLE,
+    ArrayBackend,
+    NumpyBackend,
+    NumpyF32Backend,
+    active_backend,
+    active_backend_name,
+    available_backends,
+    backend_info,
+    get_backend,
+    known_backends,
+    process_backend_name,
+    set_process_backend,
+    use_backend,
+    validate_backend_name,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Each test starts from the ambient default and leaves no residue."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    set_process_backend(None)
+    yield
+    set_process_backend(None)
+
+
+class TestNames:
+    def test_known_backends(self):
+        assert known_backends() == ("numpy", "numpy-f32", "torch")
+
+    def test_available_backends(self):
+        names = available_backends()
+        assert names[:2] == ("numpy", "numpy-f32")
+        assert ("torch" in names) == TORCH_AVAILABLE
+
+    def test_unknown_name_did_you_mean(self):
+        with pytest.raises(ConfigurationError, match="numpy"):
+            get_backend("numyp")
+
+    def test_validate_backend_name_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            validate_backend_name("cupy")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend(3.14)
+
+    @pytest.mark.skipif(TORCH_AVAILABLE, reason="torch is installed here")
+    def test_torch_unavailable_is_explained(self):
+        with pytest.raises(ConfigurationError, match="not available"):
+            get_backend("torch")
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert active_backend_name() == "numpy"
+        assert isinstance(active_backend(), NumpyBackend)
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("numpy-f32") is get_backend("numpy-f32")
+
+    def test_get_backend_none_returns_active(self):
+        with use_backend("numpy-f32"):
+            assert get_backend(None) is get_backend("numpy-f32")
+
+    def test_get_backend_instance_passthrough(self):
+        instance = NumpyF32Backend()
+        assert get_backend(instance) is instance
+
+    def test_use_backend_nesting(self):
+        with use_backend("numpy-f32"):
+            assert active_backend_name() == "numpy-f32"
+            with use_backend("numpy"):
+                assert active_backend_name() == "numpy"
+            assert active_backend_name() == "numpy-f32"
+        assert active_backend_name() == "numpy"
+
+    def test_use_backend_none_keeps_active(self):
+        with use_backend("numpy-f32"):
+            with use_backend(None) as backend:
+                assert backend.name == "numpy-f32"
+            assert active_backend_name() == "numpy-f32"
+
+    def test_use_backend_yields_backend(self):
+        with use_backend("numpy-f32") as backend:
+            assert isinstance(backend, NumpyF32Backend)
+
+    def test_process_default(self):
+        assert process_backend_name() is None
+        set_process_backend("numpy-f32")
+        assert process_backend_name() == "numpy-f32"
+        assert active_backend_name() == "numpy-f32"
+        set_process_backend(None)
+        assert active_backend_name() == "numpy"
+
+    def test_process_default_validates_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            set_process_backend("nope")
+        assert process_backend_name() is None
+
+    def test_env_var_fallback(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy-f32")
+        assert active_backend_name() == "numpy-f32"
+
+    def test_context_beats_process_default(self):
+        set_process_backend("numpy-f32")
+        with use_backend("numpy"):
+            assert active_backend_name() == "numpy"
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy-f32")
+        set_process_backend("numpy")
+        assert active_backend_name() == "numpy"
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["name"] = active_backend_name()
+
+        with use_backend("numpy-f32"):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["name"] == "numpy"
+
+
+class TestPolicies:
+    def test_backend_info_shape(self):
+        info = backend_info()
+        assert set(info) == {"name", "device", "dtype_policy"}
+        assert info["name"] == "numpy"
+        assert info["dtype_policy"] == "preserve"
+
+    def test_numpy_preserves_requested_dtype(self):
+        backend = get_backend("numpy")
+        assert backend.resolve_dtype(np.float64) == np.float64
+        assert backend.resolve_dtype(None) == np.float32
+        assert backend.fft_dtype == np.float64
+
+    def test_f32_policy_forces_float32(self):
+        backend = get_backend("numpy-f32")
+        assert backend.resolve_dtype(np.float64) == np.float32
+        assert backend.resolve_dtype(None) == np.float32
+        assert backend.fft_dtype == np.float32
+
+    def test_f32_prepare_forces_dtype_and_contiguity(self):
+        backend = get_backend("numpy-f32")
+        ragged = np.asfortranarray(np.ones((4, 5), dtype=np.float64))
+        prepared = backend.prepare(ragged)
+        assert prepared.dtype == np.float32
+        assert prepared.flags["C_CONTIGUOUS"]
+
+    def test_numpy_prepare_is_identity(self):
+        backend = get_backend("numpy")
+        x = np.ones((3, 3))
+        assert backend.prepare(x) is x
+
+    def test_abstract_base_repr_and_info(self):
+        backend = ArrayBackend()
+        assert backend.name in repr(backend)
+        assert backend.info()["name"] == backend.name
